@@ -1,0 +1,47 @@
+//! Ablation benches: ECF variants (β sweep, δ margin, second inequality)
+//! on the headline heterogeneous pair.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ecf_bench::{bench_streaming, HETERO};
+use ecf_core::{EcfConfig, SchedulerKind};
+use experiments::{run_streaming, StreamingConfig};
+
+fn variant(cfg: EcfConfig) -> SchedulerKind {
+    SchedulerKind::EcfWith(cfg)
+}
+
+fn run_kind(kind: SchedulerKind) -> f64 {
+    run_streaming(&StreamingConfig {
+        video_secs: 30.0,
+        ..StreamingConfig::new(HETERO.0, HETERO.1, kind, 1)
+    })
+    .avg_bitrate
+}
+
+fn bench_ablations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ecf_ablations");
+    group.sample_size(10);
+    group.bench_function("full_ecf", |b| {
+        b.iter(|| bench_streaming(HETERO.0, HETERO.1, SchedulerKind::Ecf).avg_bitrate)
+    });
+    for beta in [0.0, 0.5, 1.0] {
+        group.bench_function(format!("beta_{beta}"), |b| {
+            b.iter(|| run_kind(variant(EcfConfig { beta, ..EcfConfig::default() })))
+        });
+    }
+    group.bench_function("no_delta", |b| {
+        b.iter(|| run_kind(variant(EcfConfig { use_delta: false, ..EcfConfig::default() })))
+    });
+    group.bench_function("no_second_inequality", |b| {
+        b.iter(|| {
+            run_kind(variant(EcfConfig {
+                use_second_inequality: false,
+                ..EcfConfig::default()
+            }))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

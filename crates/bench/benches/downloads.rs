@@ -1,0 +1,47 @@
+//! Download benches: the data behind Figs 18 and 19 (completion times and
+//! the ECF/default ratio) at representative grid points.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ecf_core::SchedulerKind;
+use experiments::run_wget;
+
+fn bench_fig18_completion_times(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig18_wget");
+    group.sample_size(10);
+    for kind in SchedulerKind::paper_set() {
+        group.bench_function(format!("256KB_1-10Mbps/{}", kind.label()), |b| {
+            b.iter(|| run_wget(1.0, 10.0, kind, 256 * 1024, 1).0)
+        });
+    }
+    for &(bytes, label) in
+        &[(128 * 1024, "128KB"), (512 * 1024, "512KB"), (1024 * 1024, "1MB")]
+    {
+        group.bench_function(format!("{label}_1-5Mbps/ecf"), |b| {
+            b.iter(|| run_wget(1.0, 5.0, SchedulerKind::Ecf, bytes, 1).0)
+        });
+    }
+    group.finish();
+}
+
+fn bench_fig19_ratio_cell(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig19_ratio_cell");
+    group.sample_size(10);
+    group.bench_function("512KB_hetero", |b| {
+        b.iter(|| {
+            let (d, _) = run_wget(1.0, 10.0, SchedulerKind::Default, 512 * 1024, 1);
+            let (e, _) = run_wget(1.0, 10.0, SchedulerKind::Ecf, 512 * 1024, 1);
+            std::hint::black_box(e / d)
+        })
+    });
+    group.bench_function("512KB_diagonal", |b| {
+        b.iter(|| {
+            let (d, _) = run_wget(5.0, 5.0, SchedulerKind::Default, 512 * 1024, 1);
+            let (e, _) = run_wget(5.0, 5.0, SchedulerKind::Ecf, 512 * 1024, 1);
+            std::hint::black_box(e / d)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig18_completion_times, bench_fig19_ratio_cell);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Scheduler micro-benchmarks: cost of one scheduling decision (the hot
+//! path a kernel would run per packet), for every scheduler in the paper.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ecf_core::{PathId, PathSnapshot, SchedInput, SchedulerKind};
+
+fn snapshots() -> Vec<PathSnapshot> {
+    vec![
+        PathSnapshot {
+            id: PathId(0),
+            srtt: Duration::from_millis(969),
+            rtt_dev: Duration::from_millis(80),
+            cwnd: 24,
+            inflight: 24,
+            in_slow_start: false,
+            usable: true,
+        },
+        PathSnapshot {
+            id: PathId(1),
+            srtt: Duration::from_millis(105),
+            rtt_dev: Duration::from_millis(12),
+            cwnd: 140,
+            inflight: 131,
+            in_slow_start: false,
+            usable: true,
+        },
+    ]
+}
+
+fn bench_decisions(c: &mut Criterion) {
+    let paths = snapshots();
+    let mut group = c.benchmark_group("scheduler_decision");
+    for kind in SchedulerKind::paper_set() {
+        let mut sched = kind.build();
+        group.bench_function(kind.label(), |b| {
+            b.iter(|| {
+                let input = SchedInput {
+                    paths: std::hint::black_box(&paths),
+                    queued_pkts: std::hint::black_box(37),
+                    send_window_free_pkts: 1 << 16,
+                };
+                std::hint::black_box(sched.select(&input))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_ecf_waiting_path(c: &mut Criterion) {
+    // The Algorithm-1 slow path: fastest full, inequalities evaluated.
+    let mut paths = snapshots();
+    paths[1].inflight = paths[1].cwnd; // fast subflow full
+    let mut sched = SchedulerKind::Ecf.build();
+    c.bench_function("ecf_inequality_path", |b| {
+        b.iter(|| {
+            let input = SchedInput {
+                paths: std::hint::black_box(&paths),
+                queued_pkts: std::hint::black_box(3),
+                send_window_free_pkts: 1 << 16,
+            };
+            std::hint::black_box(sched.select(&input))
+        })
+    });
+}
+
+criterion_group!(benches, bench_decisions, bench_ecf_waiting_path);
+criterion_main!(benches);

@@ -1,0 +1,141 @@
+//! Streaming benches: regenerate the data behind Figs 1-3, 5-7, 9-17 and
+//! Tables 2-3 at benchmark scale (30 s videos, one seed).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ecf_bench::{bench_streaming, HETERO, SYMMETRIC};
+use ecf_core::SchedulerKind;
+use experiments::{run_streaming, StreamingConfig, VARIABLE_BW_SET};
+use simnet::{RateSchedule, Time};
+
+fn bench_fig2_fig9(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9_bitrate_ratio_cell");
+    group.sample_size(10);
+    for kind in SchedulerKind::paper_set() {
+        group.bench_function(format!("hetero_0.3-8.6/{}", kind.label()), |b| {
+            b.iter(|| {
+                let out = bench_streaming(HETERO.0, HETERO.1, kind);
+                std::hint::black_box(out.avg_bitrate / out.ideal_bitrate)
+            })
+        });
+    }
+    group.bench_function("symmetric_4.2-4.2/ecf", |b| {
+        b.iter(|| bench_streaming(SYMMETRIC.0, SYMMETRIC.1, SchedulerKind::Ecf).avg_bitrate)
+    });
+    group.finish();
+}
+
+fn bench_fig1_fig3_traces(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trace_figures");
+    group.sample_size(10);
+    group.bench_function("fig1_download_progress", |b| {
+        b.iter(|| bench_streaming(4.2, 4.2, SchedulerKind::Default).download_progress)
+    });
+    group.bench_function("fig3_sndbuf+fig11_cwnd_traces", |b| {
+        b.iter(|| {
+            let out = run_streaming(&StreamingConfig {
+                video_secs: 30.0,
+                recorder: mptcp::RecorderConfig {
+                    cwnd_traces: true,
+                    sndbuf_traces: true,
+                    ..mptcp::RecorderConfig::default()
+                },
+                ..StreamingConfig::new(HETERO.0, HETERO.1, SchedulerKind::Default, 1)
+            });
+            std::hint::black_box((out.cwnd_traces.len(), out.sndbuf_traces.len()))
+        })
+    });
+    group.finish();
+}
+
+fn bench_fig5_fig13_fig14_delays(c: &mut Criterion) {
+    let mut group = c.benchmark_group("delay_figures");
+    group.sample_size(10);
+    group.bench_function("fig5_last_packet_gaps", |b| {
+        b.iter(|| bench_streaming(HETERO.0, HETERO.1, SchedulerKind::Default).last_packet_gaps)
+    });
+    group.bench_function("fig13_fig14_ooo_delays", |b| {
+        b.iter(|| bench_streaming(HETERO.0, HETERO.1, SchedulerKind::Ecf).ooo_delays)
+    });
+    group.finish();
+}
+
+fn bench_fig6_tab3_resets(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cwnd_reset_figures");
+    group.sample_size(10);
+    group.bench_function("fig6_with_reset", |b| {
+        b.iter(|| bench_streaming(HETERO.0, HETERO.1, SchedulerKind::Default).avg_throughput)
+    });
+    group.bench_function("fig6_without_reset", |b| {
+        b.iter(|| {
+            run_streaming(&StreamingConfig {
+                video_secs: 30.0,
+                cwnd_conservation: false,
+                ..StreamingConfig::new(HETERO.0, HETERO.1, SchedulerKind::Default, 1)
+            })
+            .avg_throughput
+        })
+    });
+    group.bench_function("tab3_iw_resets", |b| {
+        b.iter(|| bench_streaming(HETERO.0, HETERO.1, SchedulerKind::Ecf).fast_iw_resets)
+    });
+    group.finish();
+}
+
+fn bench_fig7_fig10_split(c: &mut Criterion) {
+    let mut group = c.benchmark_group("traffic_split");
+    group.sample_size(10);
+    for kind in [SchedulerKind::Default, SchedulerKind::Blest, SchedulerKind::Ecf] {
+        group.bench_function(kind.label(), |b| {
+            b.iter(|| bench_streaming(HETERO.0, HETERO.1, kind).fast_fraction)
+        });
+    }
+    group.finish();
+}
+
+fn bench_fig15_four_subflows(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig15_four_subflows");
+    group.sample_size(10);
+    for kind in [SchedulerKind::Default, SchedulerKind::Ecf] {
+        group.bench_function(kind.label(), |b| {
+            b.iter(|| {
+                run_streaming(&StreamingConfig {
+                    video_secs: 30.0,
+                    subflows_per_interface: 2,
+                    ..StreamingConfig::new(0.3, 4.2, kind, 1)
+                })
+                .avg_bitrate
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_fig16_fig17_variable_bw(c: &mut Criterion) {
+    let mut group = c.benchmark_group("variable_bandwidth");
+    group.sample_size(10);
+    let horizon = Time::from_secs(400);
+    for kind in [SchedulerKind::Default, SchedulerKind::Ecf] {
+        group.bench_function(kind.label(), |b| {
+            b.iter(|| {
+                let wifi = RateSchedule::random(12, std::time::Duration::from_secs(40), &VARIABLE_BW_SET, horizon);
+                let lte = RateSchedule::random(13, std::time::Duration::from_secs(40), &VARIABLE_BW_SET, horizon);
+                run_streaming(&StreamingConfig {
+                    video_secs: 30.0,
+                    rate_schedules: Some((wifi, lte)),
+                    ..StreamingConfig::new(1.7, 1.7, kind, 6)
+                })
+                .chunk_throughputs
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = bench_fig2_fig9, bench_fig1_fig3_traces, bench_fig5_fig13_fig14_delays,
+              bench_fig6_tab3_resets, bench_fig7_fig10_split, bench_fig15_four_subflows,
+              bench_fig16_fig17_variable_bw
+}
+criterion_main!(benches);

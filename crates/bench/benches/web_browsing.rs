@@ -1,0 +1,27 @@
+//! Web-browsing benches: Figs 20/21 — full 107-object page loads over six
+//! parallel MPTCP connections at each of the paper's three configurations.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ecf_core::SchedulerKind;
+use experiments::run_browse;
+
+fn bench_fig20_fig21(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig20_fig21_page_load");
+    group.sample_size(10);
+    for (w, l, tag) in [(5.0, 5.0, "5-5"), (1.0, 5.0, "1-5"), (1.0, 10.0, "1-10")] {
+        for kind in [SchedulerKind::Default, SchedulerKind::Ecf] {
+            group.bench_function(format!("{tag}/{}", kind.label()), |b| {
+                b.iter(|| {
+                    let tb = run_browse(w, l, kind, 1);
+                    let completions = tb.app().completion_times_secs();
+                    let ooo = tb.world().recorder.ooo_delays_secs();
+                    std::hint::black_box((completions.len(), ooo.len()))
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig20_fig21);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! In-the-wild benches: one Fig 22 streaming run and one Fig 23 page load
+//! on the synthesized wild paths.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use experiments::{wild, Effort};
+
+fn bench_wild(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wild");
+    group.sample_size(10);
+    group.bench_function("fig22_streaming_quick", |b| {
+        b.iter(|| std::hint::black_box(wild::fig22(Effort::Quick).len()))
+    });
+    group.bench_function("fig23_tab4_web_quick", |b| {
+        b.iter(|| std::hint::black_box(wild::fig23_tab4(Effort::Quick).len()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_wild);
+criterion_main!(benches);

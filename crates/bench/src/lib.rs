@@ -1,0 +1,20 @@
+//! Shared helpers for the Criterion benches: benchmark-sized (small but
+//! real) versions of the paper's workloads. Each bench target regenerates
+//! the data behind one table/figure at reduced scale; the full-size reports
+//! come from `cargo run -p experiments --release --bin repro`.
+
+use ecf_core::SchedulerKind;
+use experiments::{run_streaming, StreamingConfig, StreamingOutcome};
+
+/// A short streaming run (30 s of video) at one bandwidth pair.
+pub fn bench_streaming(wifi: f64, lte: f64, kind: SchedulerKind) -> StreamingOutcome {
+    run_streaming(&StreamingConfig {
+        video_secs: 30.0,
+        ..StreamingConfig::new(wifi, lte, kind, 1)
+    })
+}
+
+/// The heterogeneous pair every headline figure keys on.
+pub const HETERO: (f64, f64) = (0.3, 8.6);
+/// A symmetric pair for the parity rows.
+pub const SYMMETRIC: (f64, f64) = (4.2, 4.2);

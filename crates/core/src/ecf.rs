@@ -1,0 +1,256 @@
+//! ECF — Earliest Completion First (the paper's contribution, Algorithm 1).
+//!
+//! The default minRTT scheduler falls back to a slower path the moment the
+//! fastest path's window is full. ECF instead asks: *given the `k` segments
+//! still queued, would waiting for the fast path complete the transfer sooner
+//! than using the slow path right now?* If so it idles rather than committing
+//! bytes to the slow path — keeping the fast path busy across request
+//! boundaries and avoiding the idle-timeout CWND resets the paper identifies
+//! as the root cause of fast-path under-utilization.
+
+use std::time::Duration;
+
+use crate::types::{secs, Decision, SchedInput, Scheduler};
+
+/// Default hysteresis factor β; the paper sets 0.25 throughout its evaluation
+/// and reports other values behave similarly (we regenerate that claim in the
+/// `ablation_beta` experiment).
+pub const DEFAULT_BETA: f64 = 0.25;
+
+/// Configuration knobs for [`Ecf`]. The defaults reproduce the paper.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EcfConfig {
+    /// Hysteresis factor β applied to the waiting threshold once waiting.
+    pub beta: f64,
+    /// Include the δ = max(σf, σs) variability margin. Disabling this is the
+    /// `ablation_delta` experiment, not a paper mode.
+    pub use_delta: bool,
+    /// Apply the second inequality (k/CWNDs)·RTTs ≥ 2·RTTf + δ that guards
+    /// against waiting when the slow path would finish quickly anyway.
+    /// Disabling this is the `ablation_second_ineq` experiment.
+    pub use_second_inequality: bool,
+}
+
+impl Default for EcfConfig {
+    fn default() -> Self {
+        EcfConfig { beta: DEFAULT_BETA, use_delta: true, use_second_inequality: true }
+    }
+}
+
+/// The ECF scheduler. See the module docs and the paper's Algorithm 1.
+#[derive(Debug, Clone, Default)]
+pub struct Ecf {
+    cfg: EcfConfig,
+    /// The `waiting` hysteresis bit from Algorithm 1: set while we have
+    /// decided to hold segments back for the fast subflow.
+    waiting: bool,
+}
+
+impl Ecf {
+    /// ECF with the paper's parameters (β = 0.25).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// ECF with explicit configuration (ablations, β sweeps).
+    pub fn with_config(cfg: EcfConfig) -> Self {
+        Ecf { cfg, waiting: false }
+    }
+
+    /// Whether the scheduler is currently holding back for the fast subflow.
+    pub fn is_waiting(&self) -> bool {
+        self.waiting
+    }
+}
+
+impl Scheduler for Ecf {
+    fn name(&self) -> &'static str {
+        "ecf"
+    }
+
+    fn select(&mut self, input: &SchedInput<'_>) -> Decision {
+        // Fastest subflow by sRTT, regardless of window space.
+        let Some(xf) = input.fastest() else {
+            return Decision::Blocked;
+        };
+        if xf.has_space() {
+            // Algorithm 1: the fast subflow is available — just use it.
+            return Decision::Send(xf.id);
+        }
+        // Fast subflow is cwnd-limited. The candidate is whatever the default
+        // scheduler would pick among the remaining paths.
+        let Some(xs) = input.fastest_available() else {
+            return Decision::Blocked;
+        };
+
+        let k = input.queued_pkts.max(1) as f64;
+        let rtt_f = secs(xf.srtt);
+        let rtt_s = secs(xs.srtt);
+        let cwnd_f = f64::from(xf.cwnd.max(1));
+        let cwnd_s = f64::from(xs.cwnd.max(1));
+        let delta = if self.cfg.use_delta {
+            secs(xf.rtt_dev.max(xs.rtt_dev))
+        } else {
+            0.0
+        };
+
+        // (1 + k/CWNDf)·RTTf: wait one RTTf for the window to open, then
+        // k/CWNDf rounds of transfer.
+        let wait_for_fast = (1.0 + k / cwnd_f) * rtt_f;
+        let beta = if self.waiting { self.cfg.beta } else { 0.0 };
+        let threshold = (1.0 + beta) * (rtt_s + delta);
+
+        if wait_for_fast < threshold {
+            // Waiting for the fast subflow is predicted to complete earlier
+            // than handing this segment to xs. The second inequality insists
+            // that xs really would be slower than the ≥ 2·RTTf floor of the
+            // waiting option; segments transfer in whole windows, hence the
+            // ceil on the round count (this also matches the paper's worked
+            // 11-packet example, where k=1 on the slow path costs a full RTTs).
+            let slow_rounds = (k / cwnd_s).ceil().max(1.0);
+            let slow_time = slow_rounds * rtt_s;
+            if !self.cfg.use_second_inequality || slow_time >= 2.0 * rtt_f + delta {
+                self.waiting = true;
+                return Decision::Wait;
+            }
+            return Decision::Send(xs.id);
+        }
+        // Plenty of backlog: using the extra bandwidth of xs shortens the
+        // completion time. Clear the hysteresis bit.
+        self.waiting = false;
+        Decision::Send(xs.id)
+    }
+
+    fn reset(&mut self) {
+        self.waiting = false;
+    }
+}
+
+/// δ margin helper exposed for tests and documentation: max of the two paths'
+/// RTT deviations.
+pub fn delta_margin(dev_f: Duration, dev_s: Duration) -> Duration {
+    dev_f.max(dev_s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::testutil::path;
+    use crate::types::{PathId, PathSnapshot};
+
+    fn input<'a>(paths: &'a [PathSnapshot], k: u64) -> SchedInput<'a> {
+        SchedInput { paths, queued_pkts: k, send_window_free_pkts: 1 << 20 }
+    }
+
+    #[test]
+    fn uses_fast_path_when_available() {
+        let paths = [path(0, 10, 10, 3), path(1, 100, 10, 0)];
+        let mut ecf = Ecf::new();
+        assert_eq!(ecf.select(&input(&paths, 50)), Decision::Send(PathId(0)));
+    }
+
+    #[test]
+    fn paper_example_waits_for_fast_path() {
+        // The §3.2 motivating example: RTTs 10 ms vs 100 ms, both cwnd 10,
+        // 11 packets to send. After the fast path absorbs 10, k=1 remains and
+        // the fast window is full. Waiting costs ≈20 ms; the slow path costs
+        // 100 ms. ECF must wait.
+        let paths = [path(0, 10, 10, 10), path(1, 100, 10, 0)];
+        let mut ecf = Ecf::new();
+        assert_eq!(ecf.select(&input(&paths, 1)), Decision::Wait);
+        assert!(ecf.is_waiting());
+    }
+
+    #[test]
+    fn large_backlog_uses_slow_path() {
+        // Enough queued data to keep both pipes busy: first inequality fails
+        // ((1 + 200/10)·10ms = 210ms ≥ 100ms), so ECF uses the slow path.
+        let paths = [path(0, 10, 10, 10), path(1, 100, 10, 0)];
+        let mut ecf = Ecf::new();
+        assert_eq!(ecf.select(&input(&paths, 200)), Decision::Send(PathId(1)));
+        assert!(!ecf.is_waiting());
+    }
+
+    #[test]
+    fn second_inequality_prevents_pointless_waiting() {
+        // Slow path barely slower: rtt_s = 30 ms vs rtt_f = 20 ms, k small.
+        // First inequality: (1 + 1/10)·20 = 22 < 30 → would wait, but the
+        // slow path finishes in 30 ms < 2·20 = 40 ms, so ECF sends on it.
+        let paths = [path(0, 20, 10, 10), path(1, 30, 10, 0)];
+        let mut ecf = Ecf::new();
+        assert_eq!(ecf.select(&input(&paths, 1)), Decision::Send(PathId(1)));
+    }
+
+    #[test]
+    fn hysteresis_beta_keeps_waiting() {
+        // Construct a borderline case that only passes the first inequality
+        // with the waiting-state β bonus.
+        let paths = [path(0, 48, 10, 10), path(1, 100, 10, 0)];
+        let mut ecf = Ecf::new();
+        // k=11: (1 + 11/10)·48 = 100.8 ≥ 100 → not waiting without β.
+        assert_eq!(ecf.select(&input(&paths, 11)), Decision::Send(PathId(1)));
+        // Enter waiting with a smaller backlog...
+        assert_eq!(ecf.select(&input(&paths, 1)), Decision::Wait);
+        // ...now the same k=11 call stays waiting: threshold is 1.25·100 = 125.
+        assert_eq!(ecf.select(&input(&paths, 11)), Decision::Wait);
+    }
+
+    #[test]
+    fn delta_margin_widens_threshold() {
+        // k=16: without δ, (1 + 16/10)·40 = 104 ≥ 100 → send on slow.
+        // With δ = 30 ms deviation: 104 < 130 and the second inequality holds
+        // (ceil(16/10)·100 = 200 ≥ 2·40 + 30), so ECF waits.
+        let mut fast = path(0, 40, 10, 10);
+        let slow = path(1, 100, 10, 0);
+        fast.rtt_dev = Duration::from_millis(30);
+
+        let paths = [fast, slow];
+        let mut with_delta = Ecf::new();
+        assert_eq!(with_delta.select(&input(&paths, 16)), Decision::Wait);
+
+        let mut without = Ecf::with_config(EcfConfig {
+            use_delta: false,
+            ..EcfConfig::default()
+        });
+        assert_eq!(without.select(&input(&paths, 16)), Decision::Send(PathId(1)));
+    }
+
+    #[test]
+    fn blocked_when_nothing_usable() {
+        let mut a = path(0, 10, 10, 10);
+        let mut b = path(1, 100, 10, 10);
+        let mut ecf = Ecf::new();
+        assert_eq!(ecf.select(&input(&[a, b], 5)), Decision::Blocked);
+        a.usable = false;
+        b.usable = false;
+        assert_eq!(ecf.select(&input(&[a, b], 5)), Decision::Blocked);
+    }
+
+    #[test]
+    fn reset_clears_waiting() {
+        let paths = [path(0, 10, 10, 10), path(1, 100, 10, 0)];
+        let mut ecf = Ecf::new();
+        ecf.select(&input(&paths, 1));
+        assert!(ecf.is_waiting());
+        ecf.reset();
+        assert!(!ecf.is_waiting());
+    }
+
+    #[test]
+    fn three_paths_waits_on_best_candidate() {
+        // Fast full; two slower candidates — the decision must be made
+        // against the *best available* (50 ms), and with k=1 ECF waits since
+        // ceil(1/10)·50 = 50 ≥ 2·10.
+        let paths = [path(0, 10, 10, 10), path(1, 50, 10, 0), path(2, 200, 10, 0)];
+        let mut ecf = Ecf::new();
+        assert_eq!(ecf.select(&input(&paths, 1)), Decision::Wait);
+    }
+
+    #[test]
+    fn delta_margin_helper() {
+        assert_eq!(
+            delta_margin(Duration::from_millis(3), Duration::from_millis(7)),
+            Duration::from_millis(7)
+        );
+    }
+}

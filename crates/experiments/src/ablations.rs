@@ -1,0 +1,189 @@
+//! Ablations beyond the paper's figures, regenerating its design-choice
+//! claims: the β hysteresis sweep ("other values yield similar results",
+//! §5.1), the δ variability margin, and the second inequality of Algorithm 1.
+
+use ecf_core::{EcfConfig, SchedulerKind};
+use metrics::render_table;
+
+use crate::common::{parallel_map, run_streaming, Effort, StreamingConfig};
+
+fn ecf_variant(cfg: EcfConfig) -> SchedulerKind {
+    SchedulerKind::EcfWith(cfg)
+}
+
+fn bitrate_with(kind: SchedulerKind, effort: Effort, seed: u64) -> f64 {
+    run_streaming(&StreamingConfig {
+        video_secs: effort.video_secs(),
+        ..StreamingConfig::new(0.3, 8.6, kind, seed)
+    })
+    .avg_bitrate
+}
+
+/// β sweep: the paper fixes β = 0.25 and reports other values behave
+/// similarly; we regenerate that claim at the most heterogeneous pair.
+pub fn ablation_beta(effort: Effort) -> String {
+    let betas = [0.0, 0.1, 0.25, 0.5, 1.0];
+    let bitrates = parallel_map(betas.to_vec(), |beta| {
+        bitrate_with(ecf_variant(EcfConfig { beta, ..EcfConfig::default() }), effort, 7)
+    });
+    let mut rows = Vec::new();
+    for (beta, br) in betas.iter().zip(&bitrates) {
+        rows.push(vec![format!("{beta:.2}"), format!("{br:.2}")]);
+    }
+    let mut s = String::from(
+        "Ablation: ECF hysteresis β at 0.3/8.6 Mbps\n\
+         (paper claim: results are insensitive to β)\n\n",
+    );
+    s.push_str(&render_table(&["beta", "avg_bitrate_Mbps"], &rows));
+    let spread = bitrates.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+        - bitrates.iter().cloned().fold(f64::INFINITY, f64::min);
+    s.push_str(&format!("\nspread across β values: {spread:.2} Mbps\n"));
+    s
+}
+
+/// δ margin and second-inequality ablations.
+pub fn ablation_components(effort: Effort) -> String {
+    let variants: Vec<(&str, SchedulerKind)> = vec![
+        ("full ECF", SchedulerKind::Ecf),
+        (
+            "no delta margin",
+            ecf_variant(EcfConfig { use_delta: false, ..EcfConfig::default() }),
+        ),
+        (
+            "no second inequality",
+            ecf_variant(EcfConfig { use_second_inequality: false, ..EcfConfig::default() }),
+        ),
+        ("default (reference)", SchedulerKind::Default),
+    ];
+    let bitrates = parallel_map(variants.clone(), |(_, kind)| {
+        let xs: Vec<f64> =
+            (0..effort.seeds()).map(|s| bitrate_with(kind, effort, 7 + s)).collect();
+        metrics::mean(&xs)
+    });
+    let mut rows = Vec::new();
+    for ((name, _), br) in variants.iter().zip(&bitrates) {
+        rows.push(vec![name.to_string(), format!("{br:.2}")]);
+    }
+    let mut s = String::from(
+        "Ablation: ECF components at 0.3/8.6 Mbps\n\
+         (each variant should sit between full ECF and the default)\n\n",
+    );
+    s.push_str(&render_table(&["variant", "avg_bitrate_Mbps"], &rows));
+    s
+}
+
+/// Congestion-control sensitivity: the paper notes the degradation (and the
+/// fix) appear regardless of coupled controller; we sweep Reno/LIA/OLIA.
+pub fn ablation_cc(effort: Effort) -> String {
+    use mptcp::CcKind;
+    let kinds = [CcKind::Reno, CcKind::Lia, CcKind::Olia];
+    let work: Vec<(CcKind, SchedulerKind)> = kinds
+        .iter()
+        .flat_map(|&cc| {
+            [SchedulerKind::Default, SchedulerKind::Ecf].map(move |sched| (cc, sched))
+        })
+        .collect();
+    let bitrates = parallel_map(work.clone(), |(cc, sched)| {
+        let mut cfg = StreamingConfig::new(0.3, 8.6, sched, 7);
+        cfg.video_secs = effort.video_secs();
+        // Thread the CC kind through the testbed config.
+        let conn_cfg = mptcp::ConnConfig { cc, ..mptcp::ConnConfig::default() };
+        run_streaming_with_conn(&cfg, conn_cfg)
+    });
+    let mut rows = Vec::new();
+    for (i, cc) in ["reno", "lia", "olia"].iter().enumerate() {
+        rows.push(vec![
+            cc.to_string(),
+            format!("{:.2}", bitrates[i * 2]),
+            format!("{:.2}", bitrates[i * 2 + 1]),
+        ]);
+    }
+    let mut s = String::from(
+        "Ablation: congestion controller sensitivity at 0.3/8.6 Mbps\n\
+         (paper §3.1: degradation appears regardless of the controller;\n\
+          ECF should beat default under each)\n\n",
+    );
+    s.push_str(&render_table(&["cc", "default_Mbps", "ecf_Mbps"], &rows));
+    s
+}
+
+/// Extension: ECF vs STTF (Hurtig et al.) — the other published
+/// completion-time-aware scheduler — across heterogeneity levels.
+pub fn extension_sttf(effort: Effort) -> String {
+    let pairs = [(0.3, 8.6), (1.1, 8.6), (4.2, 4.2), (8.6, 8.6)];
+    let work: Vec<((f64, f64), SchedulerKind)> = pairs
+        .iter()
+        .flat_map(|&p| {
+            [SchedulerKind::Default, SchedulerKind::Sttf, SchedulerKind::Ecf]
+                .map(move |k| (p, k))
+        })
+        .collect();
+    let bitrates = parallel_map(work, |((w, l), kind)| {
+        let xs: Vec<f64> = (0..effort.seeds())
+            .map(|s| {
+                run_streaming(&StreamingConfig {
+                    video_secs: effort.video_secs(),
+                    ..StreamingConfig::new(w, l, kind, 7 + s)
+                })
+                .avg_bitrate
+            })
+            .collect();
+        metrics::mean(&xs)
+    });
+    let mut rows = Vec::new();
+    for (i, &(w, l)) in pairs.iter().enumerate() {
+        rows.push(vec![
+            format!("{w}-{l}"),
+            format!("{:.2}", bitrates[i * 3]),
+            format!("{:.2}", bitrates[i * 3 + 1]),
+            format!("{:.2}", bitrates[i * 3 + 2]),
+        ]);
+    }
+    let mut s = String::from(
+        "Extension: STTF (Hurtig et al. 2018) vs ECF on streaming\n\
+         (STTF reasons per segment; ECF about the whole backlog — expect STTF\n\
+          between the default and ECF under heterogeneity)\n\n",
+    );
+    s.push_str(&render_table(&["wifi-lte", "default", "sttf", "ecf"], &rows));
+    s
+}
+
+/// Streaming run with an explicit connection config (CC ablation helper).
+fn run_streaming_with_conn(cfg: &StreamingConfig, conn_cfg: mptcp::ConnConfig) -> f64 {
+    use dash::{DashApp, PlayerConfig};
+    use mptcp::{ConnSpec, Testbed, TestbedConfig};
+    use simnet::{PathConfig, Time};
+    let tb_cfg = TestbedConfig {
+        paths: vec![PathConfig::wifi(cfg.wifi_mbps), PathConfig::lte(cfg.lte_mbps)],
+        conns: vec![ConnSpec {
+            cfg: conn_cfg,
+            scheduler: cfg.scheduler,
+            custom_scheduler: None,
+            subflow_paths: vec![0, 1],
+        }],
+        seed: cfg.seed,
+        recorder: cfg.recorder,
+        rate_schedules: Vec::new(),
+        delay_schedules: Vec::new(),
+        path_events: Vec::new(),
+    };
+    let player = PlayerConfig { video_secs: cfg.video_secs, ..PlayerConfig::default() };
+    let mut tb = Testbed::new(tb_cfg, DashApp::new(player, 0));
+    tb.run_until(Time::from_secs((cfg.video_secs * 30.0) as u64 + 300));
+    tb.app().player.avg_bitrate_mbps()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn beta_report_covers_all_values() {
+        // Structure-only check at minimum effort is still a real run; keep
+        // it cheap by reusing Quick.
+        let s = ablation_beta(Effort::Quick);
+        for beta in ["0.00", "0.10", "0.25", "0.50", "1.00"] {
+            assert!(s.contains(beta), "missing β={beta}");
+        }
+    }
+}

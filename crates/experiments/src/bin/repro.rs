@@ -1,0 +1,61 @@
+//! `repro` — regenerate any table or figure of the paper.
+//!
+//! ```text
+//! repro <id> [--quick]     one experiment (fig9, tab3, ...)
+//! repro all [--quick]      everything, in paper order
+//! repro list               show available ids
+//! ```
+//!
+//! Reports go to stdout and `results/<id>.txt`.
+
+use std::io::Write;
+
+use experiments::{find, registry, Effort};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let effort = if quick { Effort::Quick } else { Effort::Full };
+    let target = args.iter().find(|a| !a.starts_with("--")).cloned();
+
+    match target.as_deref() {
+        None | Some("list") => {
+            println!("available experiments:\n");
+            for e in registry() {
+                println!("  {:<22} {}", e.id, e.title);
+            }
+            println!("\nusage: repro <id>|all [--quick]");
+        }
+        Some("all") => {
+            // Dedup aliases (fig7/fig10 etc. share a generator).
+            let mut seen = std::collections::HashSet::new();
+            for e in registry() {
+                if !seen.insert(e.run as usize) {
+                    continue;
+                }
+                run_one(&e, effort);
+            }
+        }
+        Some(id) => match find(id) {
+            Some(e) => run_one(&e, effort),
+            None => {
+                eprintln!("unknown experiment '{id}'; try `repro list`");
+                std::process::exit(1);
+            }
+        },
+    }
+}
+
+fn run_one(e: &experiments::Experiment, effort: Effort) {
+    let started = std::time::Instant::now();
+    eprintln!("== running {} ({}) ==", e.id, e.title);
+    let report = (e.run)(effort);
+    println!("{report}");
+    eprintln!("== {} done in {:.1}s ==\n", e.id, started.elapsed().as_secs_f64());
+    if let Err(err) = std::fs::create_dir_all("results")
+        .and_then(|_| std::fs::File::create(format!("results/{}.txt", e.id)))
+        .and_then(|mut f| f.write_all(report.as_bytes()))
+    {
+        eprintln!("warning: could not write results/{}.txt: {err}", e.id);
+    }
+}

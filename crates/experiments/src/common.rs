@@ -1,0 +1,354 @@
+//! Shared experiment plumbing: the paper's parameter sets, workload runners,
+//! and a small thread fan-out for embarrassingly parallel sweeps.
+
+use std::time::Duration;
+
+use dash::{DashApp, PlayerConfig};
+use ecf_core::SchedulerKind;
+use mptcp::{ConnConfig, ConnSpec, RecorderConfig, Testbed, TestbedConfig};
+use simnet::{PathConfig, RateSchedule, Time};
+use webload::{BrowserApp, PageModel, WgetApp};
+
+/// The paper's §3.1 regulated bandwidth set (Mbps), one step above each
+/// Table 1 representation.
+pub const BW_SET: [f64; 6] = [0.3, 0.7, 1.1, 1.7, 4.2, 8.6];
+
+/// §5.3's random-change rate set.
+pub const VARIABLE_BW_SET: [f64; 5] = [0.3, 1.1, 1.7, 4.2, 8.6];
+
+/// Effort level: `Full` sizes runs for the report harness; `Quick` for
+/// benches and smoke runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Effort {
+    /// Report quality: longer videos, multiple seeds.
+    Full,
+    /// Benchmark/smoke quality: short videos, one seed.
+    Quick,
+}
+
+impl Effort {
+    /// Simulated video duration for streaming runs. Full effort approaches
+    /// the paper's 1332 s sessions; Quick keeps benches snappy.
+    pub fn video_secs(self) -> f64 {
+        match self {
+            Effort::Full => 600.0,
+            Effort::Quick => 60.0,
+        }
+    }
+
+    /// Seeds per configuration (the paper averages 5 testbed runs).
+    pub fn seeds(self) -> u64 {
+        match self {
+            Effort::Full => 5,
+            Effort::Quick => 1,
+        }
+    }
+}
+
+/// Map `f` over `items` on up to `available_parallelism` threads, preserving
+/// order. Runs are independent simulations, so this is safe and near-linear.
+pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let n = items.len();
+    if n <= 1 || workers <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    let work: Vec<(usize, T)> = items.into_iter().enumerate().collect();
+    let queue = std::sync::Mutex::new(work);
+    let results = std::sync::Mutex::new(&mut slots);
+    std::thread::scope(|scope| {
+        for _ in 0..workers.min(n) {
+            scope.spawn(|| loop {
+                let item = queue.lock().expect("queue lock").pop();
+                match item {
+                    Some((idx, t)) => {
+                        let r = f(t);
+                        results.lock().expect("results lock")[idx] = Some(r);
+                    }
+                    None => break,
+                }
+            });
+        }
+    });
+    slots.into_iter().map(|s| s.expect("worker filled every slot")).collect()
+}
+
+/// One streaming run's configuration.
+#[derive(Clone)]
+pub struct StreamingConfig {
+    /// WiFi shaped rate, Mbps.
+    pub wifi_mbps: f64,
+    /// LTE shaped rate, Mbps.
+    pub lte_mbps: f64,
+    /// Scheduler under test.
+    pub scheduler: SchedulerKind,
+    /// Video duration (seconds of content).
+    pub video_secs: f64,
+    /// Run seed.
+    pub seed: u64,
+    /// Trace collection.
+    pub recorder: RecorderConfig,
+    /// Apply idle restart + cwnd validation (Fig 6 toggles this off).
+    pub cwnd_conservation: bool,
+    /// Subflows per interface (1 = the usual 2-subflow setup; 2 = Fig 15's
+    /// four subflows, each shaped to half the interface rate).
+    pub subflows_per_interface: usize,
+    /// Optional §5.3 bandwidth schedules for (wifi, lte).
+    pub rate_schedules: Option<(RateSchedule, RateSchedule)>,
+}
+
+impl StreamingConfig {
+    /// A standard two-subflow streaming run.
+    pub fn new(wifi: f64, lte: f64, scheduler: SchedulerKind, seed: u64) -> Self {
+        StreamingConfig {
+            wifi_mbps: wifi,
+            lte_mbps: lte,
+            scheduler,
+            video_secs: 180.0,
+            seed,
+            recorder: RecorderConfig::default(),
+            cwnd_conservation: true,
+            subflows_per_interface: 1,
+            rate_schedules: None,
+        }
+    }
+}
+
+/// Everything the streaming figures need from one run.
+pub struct StreamingOutcome {
+    /// Mean encoded bit rate over the downloaded chunks, Mbps.
+    pub avg_bitrate: f64,
+    /// Mean per-chunk download throughput, Mbps.
+    pub avg_throughput: f64,
+    /// The paper's ideal average bit rate for this pair.
+    pub ideal_bitrate: f64,
+    /// Fraction of sent segments that rode the higher-bandwidth interface.
+    pub fast_fraction: f64,
+    /// Initial-window resets (idle + RTO) of the *faster* interface's
+    /// subflow(s) — Table 3's metric.
+    pub fast_iw_resets: u64,
+    /// Per-segment out-of-order delays, seconds.
+    pub ooo_delays: Vec<f64>,
+    /// Per-request gap between last packets on the two interfaces, seconds
+    /// (Fig 5).
+    pub last_packet_gaps: Vec<f64>,
+    /// Per-chunk `(start_time_s, throughput_mbps)` (Fig 17).
+    pub chunk_throughputs: Vec<(f64, f64)>,
+    /// Per-chunk `(finish_time_s, cumulative_megabytes)` (Fig 1).
+    pub download_progress: Vec<(f64, f64)>,
+    /// CWND traces `[subflow]` if recorded (Figs 11/12).
+    pub cwnd_traces: Vec<metrics::TimeSeries>,
+    /// Send-buffer occupancy traces `[subflow]` if recorded (Fig 3).
+    pub sndbuf_traces: Vec<metrics::TimeSeries>,
+}
+
+/// Run one DASH streaming session and collect the figure inputs.
+pub fn run_streaming(cfg: &StreamingConfig) -> StreamingOutcome {
+    let per_if = cfg.subflows_per_interface.max(1);
+    let mut paths = Vec::new();
+    for _ in 0..per_if {
+        paths.push(PathConfig::wifi(cfg.wifi_mbps / per_if as f64));
+    }
+    for _ in 0..per_if {
+        paths.push(PathConfig::lte(cfg.lte_mbps / per_if as f64));
+    }
+    let mut conn_cfg = ConnConfig::default();
+    conn_cfg.tcp.idle_reset = cfg.cwnd_conservation;
+
+    let mut rate_schedules = Vec::new();
+    if let Some((wifi_sched, lte_sched)) = &cfg.rate_schedules {
+        for p in 0..per_if {
+            rate_schedules.push((p, scale_schedule(wifi_sched, per_if)));
+            rate_schedules.push((per_if + p, scale_schedule(lte_sched, per_if)));
+        }
+    }
+
+    let tb_cfg = TestbedConfig {
+        paths,
+        conns: vec![ConnSpec {
+            cfg: conn_cfg,
+            scheduler: cfg.scheduler,
+            custom_scheduler: None,
+            subflow_paths: (0..2 * per_if).collect(),
+        }],
+        seed: cfg.seed,
+        recorder: cfg.recorder,
+        rate_schedules,
+        delay_schedules: Vec::new(),
+        path_events: Vec::new(),
+    };
+    let player = PlayerConfig { video_secs: cfg.video_secs, ..PlayerConfig::default() };
+    let mut tb = Testbed::new(tb_cfg, DashApp::new(player, 0));
+    // Generous horizon: the slowest pairs stream far below real time.
+    tb.run_until(Time::from_secs((cfg.video_secs * 30.0) as u64 + 300));
+
+    let world = tb.world();
+    let sender = world.sender(0);
+    let wifi_segs: u64 =
+        (0..per_if).map(|s| sender.subflows[s].stats().segs_sent).sum();
+    let lte_segs: u64 =
+        (per_if..2 * per_if).map(|s| sender.subflows[s].stats().segs_sent).sum();
+    let (fast_segs, slow_segs, fast_range) = if cfg.lte_mbps >= cfg.wifi_mbps {
+        (lte_segs, wifi_segs, per_if..2 * per_if)
+    } else {
+        (wifi_segs, lte_segs, 0..per_if)
+    };
+    let fast_iw_resets =
+        fast_range.map(|s| sender.subflows[s].cc.stats().iw_resets()).sum();
+
+    let player = &tb.app().player;
+    let mut cumulative_mb = 0.0;
+    let download_progress = player
+        .history
+        .iter()
+        .map(|c| {
+            cumulative_mb += c.bytes as f64 / 1e6;
+            (c.finished.as_secs_f64(), cumulative_mb)
+        })
+        .collect();
+
+    StreamingOutcome {
+        avg_bitrate: player.avg_bitrate_mbps(),
+        avg_throughput: player.avg_throughput_mbps(),
+        ideal_bitrate: dash::ideal_avg_bitrate_mbps(cfg.wifi_mbps + cfg.lte_mbps),
+        fast_fraction: fast_segs as f64 / (fast_segs + slow_segs).max(1) as f64,
+        fast_iw_resets,
+        ooo_delays: world.recorder.ooo_delays_secs(),
+        last_packet_gaps: world
+            .recorder
+            .completed_requests()
+            .filter_map(|r| r.last_packet_gap())
+            .map(|d| d.as_secs_f64())
+            .collect(),
+        chunk_throughputs: player
+            .history
+            .iter()
+            .map(|c| (c.started.as_secs_f64(), c.throughput_mbps()))
+            .collect(),
+        download_progress,
+        cwnd_traces: world.recorder.cwnd.first().cloned().unwrap_or_default(),
+        sndbuf_traces: world.recorder.sndbuf.first().cloned().unwrap_or_default(),
+    }
+}
+
+fn scale_schedule(s: &RateSchedule, per_if: usize) -> RateSchedule {
+    RateSchedule {
+        changes: s.changes.iter().map(|&(t, bps)| (t, bps / per_if as u64)).collect(),
+    }
+}
+
+/// One `wget`-style download; returns completion seconds and the testbed.
+pub fn run_wget(
+    wifi: f64,
+    lte: f64,
+    scheduler: SchedulerKind,
+    bytes: u64,
+    seed: u64,
+) -> (f64, Testbed<WgetApp>) {
+    let cfg = TestbedConfig::wifi_lte(wifi, lte, scheduler, seed);
+    let mut tb = Testbed::new(cfg, WgetApp::new(bytes));
+    tb.run_until(Time::from_secs(300));
+    let secs = tb
+        .app()
+        .completed_at
+        .map(|t| t.as_secs_f64())
+        .unwrap_or(f64::NAN);
+    (secs, tb)
+}
+
+/// One browser page-load over six parallel connections. Returns the testbed
+/// (object completion times and OOO delays live in the app/recorder).
+pub fn run_browse(
+    wifi: f64,
+    lte: f64,
+    scheduler: SchedulerKind,
+    seed: u64,
+) -> Testbed<BrowserApp> {
+    let conns = (0..6)
+        .map(|_| ConnSpec {
+            cfg: ConnConfig::default(),
+            scheduler,
+            custom_scheduler: None,
+            subflow_paths: vec![0, 1],
+        })
+        .collect();
+    let cfg = TestbedConfig {
+        paths: vec![PathConfig::wifi(wifi), PathConfig::lte(lte)],
+        conns,
+        seed,
+        recorder: RecorderConfig::default(),
+        rate_schedules: Vec::new(),
+        delay_schedules: Vec::new(),
+        path_events: Vec::new(),
+    };
+    // The page content is fixed across runs/schedulers (seed 2014).
+    let mut tb = Testbed::new(cfg, BrowserApp::new(PageModel::cnn_like(2014), 6));
+    tb.run_until(Time::from_secs(600));
+    tb
+}
+
+/// Format a bandwidth as the paper writes it ("0.3", "8.6").
+pub fn fmt_bw(mbps: f64) -> String {
+    format!("{mbps:.1}")
+}
+
+/// Duration helper for schedule construction.
+pub fn secs(s: u64) -> Duration {
+    Duration::from_secs(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let out = parallel_map((0..100).collect::<Vec<_>>(), |x| x * 2);
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_map_handles_small_inputs() {
+        assert_eq!(parallel_map(Vec::<i32>::new(), |x| x), Vec::<i32>::new());
+        assert_eq!(parallel_map(vec![7], |x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn streaming_outcome_is_complete() {
+        let cfg = StreamingConfig {
+            video_secs: 30.0,
+            ..StreamingConfig::new(4.2, 4.2, SchedulerKind::Ecf, 1)
+        };
+        let out = run_streaming(&cfg);
+        assert!(out.avg_bitrate > 0.0);
+        assert!(out.avg_throughput > 0.0);
+        assert_eq!(out.ideal_bitrate, 8.4);
+        assert!((0.0..=1.0).contains(&out.fast_fraction));
+        assert_eq!(out.chunk_throughputs.len(), 6);
+        assert_eq!(out.download_progress.len(), 6);
+        assert!(!out.ooo_delays.is_empty());
+    }
+
+    #[test]
+    fn four_subflow_topology_runs() {
+        let cfg = StreamingConfig {
+            video_secs: 30.0,
+            subflows_per_interface: 2,
+            ..StreamingConfig::new(0.3, 4.2, SchedulerKind::Ecf, 2)
+        };
+        let out = run_streaming(&cfg);
+        assert!(out.avg_bitrate > 0.0);
+    }
+
+    #[test]
+    fn wget_runner_completes() {
+        let (secs, _tb) = run_wget(1.0, 5.0, SchedulerKind::Default, 256 * 1024, 3);
+        assert!(secs.is_finite() && secs > 0.0);
+    }
+}

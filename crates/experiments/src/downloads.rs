@@ -1,0 +1,150 @@
+//! Simple-download experiments (§5.4): Figs 18 and 19.
+
+use ecf_core::SchedulerKind;
+use metrics::{render_table, Heatmap};
+
+use crate::common::{parallel_map, run_wget, Effort};
+
+/// File sizes the paper sweeps (128 KB – 1 MB shown in Figs 18/19).
+pub const SIZES: [(u64, &str); 4] = [
+    (128 * 1024, "128KB"),
+    (256 * 1024, "256KB"),
+    (512 * 1024, "512KB"),
+    (1024 * 1024, "1MB"),
+];
+
+fn seeds_for(effort: Effort) -> u64 {
+    match effort {
+        // The paper averages 30 runs; jitter is our only run-to-run noise,
+        // and the runs are cheap, so mirror that.
+        Effort::Full => 15,
+        Effort::Quick => 2,
+    }
+}
+
+fn mean_completion(
+    wifi: f64,
+    lte: f64,
+    kind: SchedulerKind,
+    bytes: u64,
+    effort: Effort,
+) -> (f64, f64) {
+    let times: Vec<f64> = (0..seeds_for(effort))
+        .map(|s| run_wget(wifi, lte, kind, bytes, 100 + s).0)
+        .collect();
+    (metrics::mean(&times), metrics::stddev(&times))
+}
+
+/// Fig 18: average completion time, WiFi 1 Mbps, LTE 1–10 Mbps, four sizes,
+/// all four schedulers.
+pub fn fig18(effort: Effort) -> String {
+    let mut s = String::from(
+        "Fig 18: Average download completion time (s), WiFi 1 Mbps, LTE 1-10 Mbps\n\
+         (paper: schedulers converge for small files; ECF <= default for larger\n\
+          files under heterogeneity; DAPS often worst)\n",
+    );
+    let ltes: Vec<f64> = (1..=10).map(f64::from).collect();
+    for &(bytes, label) in &SIZES {
+        s.push_str(&format!("\n--- {label} ---\n"));
+        let work: Vec<(f64, SchedulerKind)> = ltes
+            .iter()
+            .flat_map(|&l| SchedulerKind::paper_set().map(move |k| (l, k)))
+            .collect();
+        let means =
+            parallel_map(work, |(l, k)| mean_completion(1.0, l, k, bytes, effort).0);
+        let mut rows = Vec::new();
+        for (i, &lte) in ltes.iter().enumerate() {
+            let base = i * 4;
+            rows.push(vec![
+                format!("1-{lte:.0}"),
+                format!("{:.2}", means[base]),
+                format!("{:.2}", means[base + 2]),
+                format!("{:.2}", means[base + 3]),
+                format!("{:.2}", means[base + 1]),
+            ]);
+        }
+        s.push_str(&render_table(
+            &["wifi-lte", "default", "daps", "blest", "ecf"],
+            &rows,
+        ));
+    }
+    s
+}
+
+/// Fig 19: ECF completion time normalized by the default scheduler's across
+/// the full 1–10 × 1–10 Mbps grid. Values ≤ 1 everywhere is the paper's
+/// "never worse" claim; < 1 in the heterogeneous corners.
+pub fn fig19(effort: Effort) -> String {
+    let mut s = String::from(
+        "Fig 19: ECF completion time / default completion time\n\
+         (paper: 1.0 on the diagonal and for small files; down to ~0.8 under\n\
+          heterogeneity; never above 1)\n",
+    );
+    // The full 10x10 grid at Full effort; a coarser grid when Quick.
+    let grid: Vec<f64> = match effort {
+        Effort::Full => (1..=10).map(f64::from).collect(),
+        Effort::Quick => vec![1.0, 4.0, 10.0],
+    };
+    for &(bytes, label) in &SIZES {
+        s.push_str(&format!("\n--- {label} ---\n"));
+        let cells: Vec<(usize, usize)> = (0..grid.len())
+            .flat_map(|l| (0..grid.len()).map(move |w| (l, w)))
+            .collect();
+        let ratios = parallel_map(cells.clone(), |(l, w)| {
+            let (d_mean, d_sd) =
+                mean_completion(grid[w], grid[l], SchedulerKind::Default, bytes, effort);
+            let (e_mean, e_sd) =
+                mean_completion(grid[w], grid[l], SchedulerKind::Ecf, bytes, effort);
+            // The paper plots 1.0 whenever the difference is inside one
+            // standard deviation.
+            if (d_mean - e_mean).abs() <= d_sd.max(e_sd) {
+                1.0
+            } else {
+                e_mean / d_mean
+            }
+        });
+        let mut values = vec![vec![0.0; grid.len()]; grid.len()];
+        for ((l, w), r) in cells.into_iter().zip(ratios) {
+            values[l][w] = r;
+        }
+        values.reverse();
+        let mut y_ticks: Vec<String> = grid.iter().map(|g| format!("{g:.0}")).collect();
+        y_ticks.reverse();
+        let hm = Heatmap {
+            x_label: "WiFi (Mbps)".into(),
+            y_label: "LTE (Mbps)".into(),
+            x_ticks: grid.iter().map(|g| format!("{g:.0}")).collect(),
+            y_ticks,
+            values: values.clone(),
+            lo: 0.7,
+            hi: 1.3,
+        };
+        s.push_str(&hm.render());
+        let worst = values
+            .iter()
+            .flatten()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max);
+        s.push_str(&format!("max ratio (should stay ~<= 1): {worst:.2}\n"));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn completion_time_decreases_with_more_lte() {
+        let slow = mean_completion(1.0, 1.0, SchedulerKind::Ecf, 512 * 1024, Effort::Quick).0;
+        let fast = mean_completion(1.0, 10.0, SchedulerKind::Ecf, 512 * 1024, Effort::Quick).0;
+        assert!(fast < slow, "more bandwidth must not slow downloads: {fast} vs {slow}");
+    }
+
+    #[test]
+    fn ecf_not_worse_than_default_on_hetero_1mb() {
+        let (d, _) = mean_completion(1.0, 10.0, SchedulerKind::Default, 1024 * 1024, Effort::Quick);
+        let (e, _) = mean_completion(1.0, 10.0, SchedulerKind::Ecf, 1024 * 1024, Effort::Quick);
+        assert!(e <= d * 1.15, "ECF {e}s vs default {d}s");
+    }
+}

@@ -1,0 +1,100 @@
+//! # experiments — the paper's evaluation, end to end
+//!
+//! One entry per table and figure of *ECF: An MPTCP Path Scheduler to Manage
+//! Heterogeneous Paths* (CoNEXT '17), each regenerating the corresponding
+//! rows/series from the simulated testbed. Run them via the `repro` binary:
+//!
+//! ```text
+//! cargo run -p experiments --release --bin repro -- fig9
+//! cargo run -p experiments --release --bin repro -- all --quick
+//! ```
+//!
+//! Reports are printed and also written to `results/<id>.txt`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablations;
+pub mod common;
+pub mod downloads;
+pub mod streaming;
+pub mod web;
+pub mod wild;
+
+pub use common::{
+    parallel_map, run_browse, run_streaming, run_wget, Effort, StreamingConfig,
+    StreamingOutcome, BW_SET, VARIABLE_BW_SET,
+};
+
+/// An experiment: id, paper artifact, and the function that regenerates it.
+pub struct Experiment {
+    /// Identifier used on the `repro` command line (e.g. "fig9").
+    pub id: &'static str,
+    /// What it reproduces.
+    pub title: &'static str,
+    /// Generate the report.
+    pub run: fn(Effort) -> String,
+}
+
+/// Every experiment, in paper order.
+pub fn registry() -> Vec<Experiment> {
+    vec![
+        Experiment { id: "tab1", title: "Table 1: bit rates vs resolution", run: |_| streaming::tab1() },
+        Experiment { id: "fig1", title: "Fig 1: ON-OFF download behaviour", run: streaming::fig1 },
+        Experiment { id: "fig2", title: "Fig 2: bitrate ratio heatmap (default)", run: streaming::fig2 },
+        Experiment { id: "fig3", title: "Fig 3: send-buffer occupancy trace", run: streaming::fig3 },
+        Experiment { id: "fig5", title: "Fig 5: last-packet time differences", run: streaming::fig5 },
+        Experiment { id: "fig6", title: "Fig 6: throughput w/ and w/o CWND reset", run: streaming::fig6 },
+        Experiment { id: "fig7", title: "Figs 7 & 10: fast-subflow traffic fraction", run: streaming::fig7_fig10 },
+        Experiment { id: "tab2", title: "Table 2: RTT vs regulated bandwidth", run: |_| streaming::tab2() },
+        Experiment { id: "fig9", title: "Fig 9: bitrate ratio heatmaps, 4 schedulers", run: streaming::fig9 },
+        Experiment { id: "fig10", title: "Figs 7 & 10: fast-subflow traffic fraction", run: streaming::fig7_fig10 },
+        Experiment { id: "fig11", title: "Figs 11 & 12: CWND traces", run: streaming::fig11_fig12 },
+        Experiment { id: "fig12", title: "Figs 11 & 12: CWND traces", run: streaming::fig11_fig12 },
+        Experiment { id: "tab3", title: "Table 3: IW resets per scheduler", run: streaming::tab3 },
+        Experiment { id: "fig13", title: "Fig 13: OOO delay CCDF (default)", run: streaming::fig13 },
+        Experiment { id: "fig14", title: "Fig 14: OOO delay CCDF per scheduler", run: streaming::fig14 },
+        Experiment { id: "fig15", title: "Fig 15: four-subflow bitrate ratios", run: streaming::fig15 },
+        Experiment { id: "fig16", title: "Fig 16: random bandwidth scenarios", run: streaming::fig16 },
+        Experiment { id: "fig17", title: "Fig 17: per-chunk throughput trace", run: streaming::fig17 },
+        Experiment { id: "fig18", title: "Fig 18: download completion times", run: downloads::fig18 },
+        Experiment { id: "fig19", title: "Fig 19: ECF/default completion ratio", run: downloads::fig19 },
+        Experiment { id: "fig20", title: "Fig 20: web object completion CCDF", run: web::fig20 },
+        Experiment { id: "fig21", title: "Fig 21: web OOO delay CCDF", run: web::fig21 },
+        Experiment { id: "fig22", title: "Fig 22: wild streaming", run: wild::fig22 },
+        Experiment { id: "fig23", title: "Fig 23 / Table 4: wild web browsing", run: wild::fig23_tab4 },
+        Experiment { id: "tab4", title: "Fig 23 / Table 4: wild web browsing", run: wild::fig23_tab4 },
+        Experiment { id: "ablation_beta", title: "Ablation: β sweep", run: ablations::ablation_beta },
+        Experiment { id: "ablation_components", title: "Ablation: δ & 2nd inequality", run: ablations::ablation_components },
+        Experiment { id: "ablation_cc", title: "Ablation: congestion controllers", run: ablations::ablation_cc },
+        Experiment { id: "extension_sttf", title: "Extension: STTF vs ECF", run: ablations::extension_sttf },
+    ]
+}
+
+/// Look up one experiment by id.
+pub fn find(id: &str) -> Option<Experiment> {
+    registry().into_iter().find(|e| e.id == id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_covers_every_paper_artifact() {
+        let ids: Vec<&str> = registry().iter().map(|e| e.id).collect();
+        for required in [
+            "tab1", "tab2", "tab3", "tab4", "fig1", "fig2", "fig3", "fig5", "fig6", "fig7",
+            "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17",
+            "fig18", "fig19", "fig20", "fig21", "fig22", "fig23",
+        ] {
+            assert!(ids.contains(&required), "missing {required}");
+        }
+    }
+
+    #[test]
+    fn find_resolves_ids() {
+        assert!(find("fig9").is_some());
+        assert!(find("nope").is_none());
+    }
+}

@@ -1,0 +1,199 @@
+//! Congestion-avoidance increase policies: uncoupled Reno and the two
+//! coupled MPTCP controllers the paper mentions — LIA ("coupled", Wischik et
+//! al. / RFC 6356) and OLIA (Khalili et al.).
+//!
+//! Coupling is the second half of the paper's root-cause story: because a
+//! coupled controller adapts each subflow's window as a function of *all*
+//! windows, a fast subflow that loses its window to an idle reset regains it
+//! slowly, compounding the default scheduler's under-utilization (§3.2).
+//!
+//! Slow-start growth is uncoupled (one segment per ACKed segment) for all
+//! kinds, as in the Linux implementation; these policies only shape the
+//! congestion-avoidance increase, which the subflow applies via
+//! [`tcp_model::TcpCc::apply_ca_increase`].
+
+/// Selects the coupled (or not) increase policy for a connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CcKind {
+    /// Uncoupled per-subflow NewReno (1/cwnd per ACKed segment).
+    Reno,
+    /// Linked Increases Algorithm, RFC 6356 — the Linux MPTCP default.
+    #[default]
+    Lia,
+    /// Opportunistic LIA (Khalili et al., CoNEXT 2012).
+    Olia,
+}
+
+/// Per-subflow view the controllers need: fractional window and sRTT seconds.
+#[derive(Debug, Clone, Copy)]
+pub struct CcView {
+    /// Congestion window in segments (fractional).
+    pub cwnd: f64,
+    /// Smoothed RTT in seconds.
+    pub srtt: f64,
+}
+
+/// Congestion-avoidance window increase, in segments, for one ACKed segment
+/// arriving on `views[idx]`.
+pub fn ca_increase(kind: CcKind, views: &[CcView], idx: usize) -> f64 {
+    debug_assert!(idx < views.len());
+    let me = views[idx];
+    let cwnd = me.cwnd.max(1.0);
+    match kind {
+        CcKind::Reno => 1.0 / cwnd,
+        CcKind::Lia => {
+            let total: f64 = views.iter().map(|v| v.cwnd).sum();
+            let total = total.max(1.0);
+            // α = cwnd_total · max_r(cwnd_r/rtt_r²) / (Σ_r cwnd_r/rtt_r)²
+            let max_term = views
+                .iter()
+                .map(|v| v.cwnd / (v.srtt * v.srtt).max(1e-12))
+                .fold(0.0, f64::max);
+            let sum_term: f64 = views.iter().map(|v| v.cwnd / v.srtt.max(1e-6)).sum();
+            let alpha = total * max_term / (sum_term * sum_term).max(1e-12);
+            (alpha / total).min(1.0 / cwnd)
+        }
+        CcKind::Olia => {
+            // Per-ACK increase: w_r/rtt_r² / (Σ_p w_p/rtt_p)² + α_r/w_r.
+            // A negative α can make the sum negative for the penalized path;
+            // we floor the applied increase at zero (freeze rather than
+            // shrink), since the decrease side of OLIA is realized through
+            // its loss response in this model.
+            let sum_term: f64 = views.iter().map(|v| v.cwnd / v.srtt.max(1e-6)).sum();
+            let base = (me.cwnd / (me.srtt * me.srtt).max(1e-12))
+                / (sum_term * sum_term).max(1e-12);
+            (base + olia_alpha(views, idx) / cwnd).max(0.0)
+        }
+    }
+}
+
+/// OLIA's α_r term. The exact definition ranks paths by bytes sent between
+/// losses; we approximate the "best paths" set B by the current bandwidth
+/// estimate cwnd/rtt (documented substitution — the sets coincide in steady
+/// state, where transmission share is proportional to achieved rate).
+fn olia_alpha(views: &[CcView], idx: usize) -> f64 {
+    let n = views.len() as f64;
+    if views.len() < 2 {
+        return 0.0;
+    }
+    const EPS: f64 = 1e-9;
+    let max_cwnd = views.iter().map(|v| v.cwnd).fold(0.0, f64::max);
+    let best_rate = views.iter().map(|v| v.cwnd / v.srtt.max(1e-6)).fold(0.0, f64::max);
+    let in_m = |v: &CcView| (v.cwnd - max_cwnd).abs() < EPS;
+    let in_b = |v: &CcView| (v.cwnd / v.srtt.max(1e-6) - best_rate).abs() < EPS;
+    // B \ M: best paths that do not already have the largest window.
+    let b_minus_m: Vec<usize> =
+        (0..views.len()).filter(|&i| in_b(&views[i]) && !in_m(&views[i])).collect();
+    if b_minus_m.is_empty() {
+        return 0.0;
+    }
+    let me = &views[idx];
+    if b_minus_m.contains(&idx) {
+        1.0 / (n * b_minus_m.len() as f64)
+    } else if in_m(me) {
+        let m_count = views.iter().filter(|v| in_m(v)).count() as f64;
+        -1.0 / (n * m_count)
+    } else {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(cwnd: f64, srtt_ms: f64) -> CcView {
+        CcView { cwnd, srtt: srtt_ms / 1e3 }
+    }
+
+    #[test]
+    fn reno_is_inverse_cwnd() {
+        let views = [v(10.0, 50.0), v(20.0, 100.0)];
+        assert!((ca_increase(CcKind::Reno, &views, 0) - 0.1).abs() < 1e-12);
+        assert!((ca_increase(CcKind::Reno, &views, 1) - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lia_two_equal_paths_quarter_rate() {
+        // Symmetric case: α = 1/2, increase = α/total = 1/(4·cwnd) — each
+        // subflow grows at a quarter of the Reno rate, so the pair together
+        // is no more aggressive than a single connection.
+        let views = [v(10.0, 50.0), v(10.0, 50.0)];
+        let inc = ca_increase(CcKind::Lia, &views, 0);
+        assert!((inc - 1.0 / 40.0).abs() < 1e-9, "inc={inc}");
+    }
+
+    #[test]
+    fn lia_never_exceeds_reno() {
+        for (c0, c1, r0, r1) in
+            [(5.0, 50.0, 10.0, 200.0), (30.0, 4.0, 80.0, 30.0), (10.0, 10.0, 50.0, 50.0)]
+        {
+            let views = [v(c0, r0), v(c1, r1)];
+            for i in 0..2 {
+                let lia = ca_increase(CcKind::Lia, &views, i);
+                let reno = ca_increase(CcKind::Reno, &views, i);
+                assert!(lia <= reno + 1e-12, "lia={lia} reno={reno}");
+                assert!(lia > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn lia_single_path_reduces_to_reno() {
+        // One path: α = cwnd · (c/r²) / (c/r)² = 1 → increase = 1/cwnd.
+        let views = [v(12.0, 70.0)];
+        let lia = ca_increase(CcKind::Lia, &views, 0);
+        assert!((lia - 1.0 / 12.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn olia_increase_never_negative() {
+        // The penalized (largest-window, not-best-rate) path's α is negative;
+        // the applied increase must floor at zero, not shrink the window.
+        let views = [v(10.0, 10.0), v(100.0, 1000.0)];
+        assert!(olia_alpha(&views, 1) < 0.0);
+        assert!(ca_increase(CcKind::Olia, &views, 1) >= 0.0);
+    }
+
+    #[test]
+    fn olia_positive_on_best_small_window_path() {
+        // Path 0: small window but better rate per cwnd/rtt → in B \ M,
+        // gets the α bonus; path 1 (largest window) is penalized.
+        let views = [v(5.0, 10.0), v(20.0, 100.0)];
+        let inc0 = ca_increase(CcKind::Olia, &views, 0);
+        let inc1 = ca_increase(CcKind::Olia, &views, 1);
+        assert!(inc0 > 0.0);
+        // The penalized path still must not decrease below zero overall
+        // growth by α alone dominating in sane regimes is not required, but
+        // the α terms must have the documented signs:
+        assert!(olia_alpha(&views, 0) > 0.0);
+        assert!(olia_alpha(&views, 1) < 0.0);
+        let _ = inc1;
+    }
+
+    #[test]
+    fn olia_alpha_zero_when_best_equals_largest() {
+        // Path 0 has both the largest window and the best rate → B ⊆ M.
+        let views = [v(20.0, 10.0), v(5.0, 100.0)];
+        assert_eq!(olia_alpha(&views, 0), 0.0);
+        assert_eq!(olia_alpha(&views, 1), 0.0);
+    }
+
+    #[test]
+    fn olia_single_path_no_alpha() {
+        let views = [v(10.0, 50.0)];
+        assert_eq!(olia_alpha(&views, 0), 0.0);
+        assert!(ca_increase(CcKind::Olia, &views, 0) > 0.0);
+    }
+
+    #[test]
+    fn increases_are_finite_on_degenerate_input() {
+        let views = [v(0.0, 0.0), v(1.0, 0.0)];
+        for kind in [CcKind::Reno, CcKind::Lia, CcKind::Olia] {
+            for i in 0..2 {
+                let inc = ca_increase(kind, &views, i);
+                assert!(inc.is_finite(), "{kind:?} idx {i} gave {inc}");
+            }
+        }
+    }
+}

@@ -1,0 +1,330 @@
+//! Receiver-side MPTCP model.
+//!
+//! Two levels of reassembly, exactly as in the kernel:
+//!
+//! 1. **Subflow level** — links are FIFO, so gaps within a subflow only come
+//!    from drops; out-of-order subflow segments are buffered and duplicate
+//!    ACKs generated until a retransmission fills the hole.
+//! 2. **Connection (meta) level** — segments from different subflows
+//!    interleave arbitrarily; the data-sequence reorder buffer holds them
+//!    until the in-order prefix extends, which is where the paper's
+//!    *out-of-order delay* is measured (delivery time − arrival time, per
+//!    segment).
+//!
+//! Every data arrival produces one [`AckInfo`] carrying the subflow
+//! cumulative ACK, the DATA_ACK, and the advertised receive window
+//! (buffer capacity minus out-of-order segments held — the application
+//! consumes in-order data immediately, as a streaming/browser client does).
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+use simnet::Time;
+
+use crate::segment::{AckInfo, Segment, SubId};
+
+/// Per-segment delivery record produced when the in-order prefix advances.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Delivered {
+    /// The data sequence number delivered.
+    pub dsn: u64,
+    /// How long it sat in the meta reorder buffer (0 for in-order arrivals).
+    pub ooo_delay: Duration,
+}
+
+/// Outcome of processing one arriving data segment.
+#[derive(Debug, Clone)]
+pub struct RxOutcome {
+    /// The ACK to send back on the arrival subflow now, if one is due.
+    /// `None` when the ACK is delayed (RFC 1122): the caller must ensure a
+    /// delayed-ACK timer is armed and later call [`Receiver::take_delayed_ack`].
+    pub ack: Option<AckInfo>,
+    /// True when a delayed-ACK timer should be armed for this subflow.
+    pub arm_delack: bool,
+    /// Segments that became deliverable, in order.
+    pub delivered: Vec<Delivered>,
+    /// True if this segment was a duplicate at the meta level (e.g. the
+    /// second copy of a reinjected dsn).
+    pub duplicate: bool,
+}
+
+/// Lifetime receiver counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ReceiverStats {
+    /// Segments accepted and eventually delivered.
+    pub delivered_segs: u64,
+    /// Meta-level duplicates discarded (reinjection copies).
+    pub duplicate_segs: u64,
+    /// Maximum occupancy ever seen in the meta reorder buffer.
+    pub max_meta_buffered: u64,
+}
+
+/// The connection receiver.
+pub struct Receiver {
+    rwnd_cap: u64,
+    /// Per-subflow next expected ssn.
+    sub_next: Vec<u64>,
+    /// Per-subflow out-of-order buffer: ssn → (dsn, arrival).
+    sub_buf: Vec<BTreeMap<u64, (u64, Time)>>,
+    /// Next data sequence number expected in order.
+    meta_next: u64,
+    /// Meta reorder buffer: dsn → earliest arrival time.
+    meta_buf: BTreeMap<u64, Time>,
+    /// Per-subflow count of in-order segments not yet acknowledged
+    /// (delayed-ACK state).
+    pending_ack: Vec<u32>,
+    stats: ReceiverStats,
+}
+
+impl Receiver {
+    /// A receiver for `n_subflows` subflows with an `rwnd_cap`-segment
+    /// reorder buffer.
+    pub fn new(n_subflows: usize, rwnd_cap: u64) -> Self {
+        Receiver {
+            rwnd_cap,
+            sub_next: vec![0; n_subflows],
+            sub_buf: vec![BTreeMap::new(); n_subflows],
+            meta_next: 0,
+            meta_buf: BTreeMap::new(),
+            pending_ack: vec![0; n_subflows],
+            stats: ReceiverStats::default(),
+        }
+    }
+
+    /// Data sequence number up to which everything has been delivered.
+    pub fn meta_next(&self) -> u64 {
+        self.meta_next
+    }
+
+    /// Current advertised window (free reorder-buffer space). Segments held
+    /// at either reassembly level occupy the buffer.
+    pub fn rwnd_free(&self) -> u64 {
+        let held = self.meta_buf.len() as u64
+            + self.sub_buf.iter().map(|b| b.len() as u64).sum::<u64>();
+        self.rwnd_cap.saturating_sub(held)
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> ReceiverStats {
+        self.stats
+    }
+
+    /// Segments a receiver lets accumulate before acking (RFC 1122 allows
+    /// one ACK per two full-size segments).
+    const DELACK_SEGS: u32 = 2;
+
+    /// Process a data segment arriving on `sub` at `now`.
+    pub fn on_segment(&mut self, now: Time, sub: SubId, seg: Segment) -> RxOutcome {
+        debug_assert!(sub < self.sub_next.len(), "unknown subflow {sub}");
+        let mut delivered = Vec::new();
+        let mut duplicate = false;
+        // Out-of-order, gap-filling and duplicate segments must be
+        // acknowledged immediately (they feed dupack counting and recovery);
+        // only the clean in-order case may be delayed.
+        let mut ack_now = true;
+
+        if seg.ssn == self.sub_next[sub] {
+            let filled_gap = !self.sub_buf[sub].is_empty();
+            self.sub_next[sub] += 1;
+            duplicate |= !self.admit_meta(seg.dsn, now);
+            // Drain any subflow-level buffered continuation.
+            while let Some(&(dsn, arrival)) =
+                self.sub_buf[sub].get(&self.sub_next[sub])
+            {
+                self.sub_buf[sub].remove(&self.sub_next[sub]);
+                self.sub_next[sub] += 1;
+                self.admit_meta(dsn, arrival);
+            }
+            if !filled_gap && !duplicate {
+                self.pending_ack[sub] += 1;
+                ack_now = self.pending_ack[sub] >= Self::DELACK_SEGS;
+            }
+        } else if seg.ssn > self.sub_next[sub] {
+            // Hole on this subflow (a drop): buffer and dup-ack.
+            self.sub_buf[sub].entry(seg.ssn).or_insert((seg.dsn, now));
+        } else {
+            // Old ssn: spurious subflow retransmission.
+            duplicate = true;
+        }
+
+        // Deliver the extended in-order prefix at the meta level.
+        while let Some(arrival) = self.meta_buf.remove(&self.meta_next) {
+            delivered.push(Delivered { dsn: self.meta_next, ooo_delay: now.since(arrival) });
+            self.meta_next += 1;
+            self.stats.delivered_segs += 1;
+        }
+
+        if duplicate {
+            self.stats.duplicate_segs += 1;
+        }
+        let (ack, arm_delack) = if ack_now {
+            self.pending_ack[sub] = 0;
+            (Some(self.ack_info(sub)), false)
+        } else {
+            (None, true)
+        };
+        RxOutcome { ack, arm_delack, delivered, duplicate }
+    }
+
+    /// Current cumulative ACK for `sub`.
+    fn ack_info(&self, sub: SubId) -> AckInfo {
+        AckInfo {
+            sub_next_ssn: self.sub_next[sub],
+            data_next_dsn: self.meta_next,
+            rwnd_free: self.rwnd_free(),
+        }
+    }
+
+    /// The delayed-ACK timer for `sub` fired: emit the pending cumulative
+    /// ACK if any segments are still unacknowledged.
+    pub fn take_delayed_ack(&mut self, sub: SubId) -> Option<AckInfo> {
+        if self.pending_ack[sub] > 0 {
+            self.pending_ack[sub] = 0;
+            Some(self.ack_info(sub))
+        } else {
+            None
+        }
+    }
+
+    /// Insert a dsn into the meta buffer unless already delivered/buffered.
+    /// Returns false on duplicate.
+    fn admit_meta(&mut self, dsn: u64, arrival: Time) -> bool {
+        if dsn < self.meta_next || self.meta_buf.contains_key(&dsn) {
+            return false;
+        }
+        self.meta_buf.insert(dsn, arrival);
+        self.stats.max_meta_buffered =
+            self.stats.max_meta_buffered.max(self.meta_buf.len() as u64);
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seg(dsn: u64, ssn: u64) -> Segment {
+        Segment { dsn, ssn }
+    }
+
+    #[test]
+    fn in_order_delivery_with_delayed_acks() {
+        let mut rx = Receiver::new(1, 100);
+        // First in-order segment: delivered, but the ACK is delayed.
+        let out = rx.on_segment(Time::from_millis(0), 0, seg(0, 0));
+        assert_eq!(out.delivered.len(), 1);
+        assert_eq!(out.delivered[0].ooo_delay, Duration::ZERO);
+        assert!(out.ack.is_none());
+        assert!(out.arm_delack);
+        // Second: the every-2-segments ACK fires.
+        let out = rx.on_segment(Time::from_millis(1), 0, seg(1, 1));
+        let ack = out.ack.expect("ack every second segment");
+        assert_eq!(ack.sub_next_ssn, 2);
+        assert_eq!(ack.data_next_dsn, 2);
+        assert_eq!(rx.stats().delivered_segs, 2);
+    }
+
+    #[test]
+    fn delayed_ack_timer_flushes_pending() {
+        let mut rx = Receiver::new(1, 100);
+        rx.on_segment(Time::from_millis(0), 0, seg(0, 0));
+        let ack = rx.take_delayed_ack(0).expect("one segment pending");
+        assert_eq!(ack.sub_next_ssn, 1);
+        // Nothing pending afterwards.
+        assert!(rx.take_delayed_ack(0).is_none());
+    }
+
+    #[test]
+    fn interleaved_subflows_meta_reordering() {
+        let mut rx = Receiver::new(2, 100);
+        // dsn 1 arrives first (on the fast subflow), dsn 0 later (slow).
+        let out = rx.on_segment(Time::from_millis(10), 1, seg(1, 0));
+        assert!(out.delivered.is_empty());
+        assert_eq!(rx.rwnd_free(), 99); // one segment parked
+
+        let out = rx.on_segment(Time::from_millis(60), 0, seg(0, 0));
+        assert_eq!(out.delivered.len(), 2);
+        assert_eq!(out.delivered[0].dsn, 0);
+        assert_eq!(out.delivered[0].ooo_delay, Duration::ZERO);
+        assert_eq!(out.delivered[1].dsn, 1);
+        // dsn 1 waited 50 ms in the reorder buffer.
+        assert_eq!(out.delivered[1].ooo_delay, Duration::from_millis(50));
+        assert_eq!(rx.meta_next(), 2);
+        assert_eq!(rx.rwnd_free(), 100);
+        // The delayed data-ack now reflects full delivery.
+        let ack = rx.take_delayed_ack(0).expect("pending");
+        assert_eq!(ack.data_next_dsn, 2);
+    }
+
+    #[test]
+    fn subflow_hole_generates_immediate_dupacks() {
+        let mut rx = Receiver::new(1, 100);
+        rx.on_segment(Time::from_millis(0), 0, seg(0, 0));
+        // ssn 1 lost; ssn 2 and 3 arrive: both must ACK immediately with the
+        // duplicate cumulative value (these drive fast retransmit).
+        let out = rx.on_segment(Time::from_millis(1), 0, seg(2, 2));
+        assert_eq!(out.ack.expect("ooo acks immediately").sub_next_ssn, 1);
+        assert!(out.delivered.is_empty());
+        let out = rx.on_segment(Time::from_millis(2), 0, seg(3, 3));
+        assert_eq!(out.ack.expect("ooo acks immediately").sub_next_ssn, 1);
+        // Retransmission of ssn 1 fills the hole → everything drains, ACK now.
+        let out = rx.on_segment(Time::from_millis(30), 0, seg(1, 1));
+        let ack = out.ack.expect("gap fill acks immediately");
+        assert_eq!(ack.sub_next_ssn, 4);
+        assert_eq!(out.delivered.len(), 3);
+        assert_eq!(ack.data_next_dsn, 4);
+        // Buffered segments' ooo delay counts from their own arrival.
+        assert_eq!(out.delivered[1].ooo_delay, Duration::from_millis(29));
+    }
+
+    #[test]
+    fn meta_duplicate_from_reinjection_discarded() {
+        let mut rx = Receiver::new(2, 100);
+        // dsn 5 delayed on subflow 0... sender reinjects it on subflow 1.
+        let out = rx.on_segment(Time::from_millis(5), 1, seg(5, 0));
+        assert!(!out.duplicate);
+        // Original copy arrives later on subflow 0 (ssn 0 there).
+        let out = rx.on_segment(Time::from_millis(50), 0, seg(5, 0));
+        assert!(out.duplicate);
+        assert_eq!(rx.stats().duplicate_segs, 1);
+        // Duplicates are acknowledged immediately; the subflow stream is
+        // intact, so the cumulative ack advances.
+        assert_eq!(out.ack.expect("dup acks immediately").sub_next_ssn, 1);
+    }
+
+    #[test]
+    fn spurious_subflow_retransmission_ignored() {
+        let mut rx = Receiver::new(1, 100);
+        rx.on_segment(Time::from_millis(0), 0, seg(0, 0));
+        let out = rx.on_segment(Time::from_millis(1), 0, seg(0, 0));
+        assert!(out.duplicate);
+        assert_eq!(out.ack.expect("dup acks immediately").sub_next_ssn, 1);
+        assert_eq!(out.delivered.len(), 0);
+    }
+
+    #[test]
+    fn rwnd_shrinks_with_buffered_segments() {
+        let mut rx = Receiver::new(2, 10);
+        for i in 1..=10 {
+            rx.on_segment(Time::from_millis(i), 1, seg(i, i - 1));
+        }
+        assert_eq!(rx.rwnd_free(), 0);
+        // Filling dsn 0 releases all 11.
+        let out = rx.on_segment(Time::from_millis(100), 0, seg(0, 0));
+        assert_eq!(out.delivered.len(), 11);
+        assert_eq!(rx.rwnd_free(), 10);
+        // dsn 0 transits the buffer before the drain, so the peak is 11.
+        assert_eq!(rx.stats().max_meta_buffered, 11);
+    }
+
+    #[test]
+    fn two_subflow_streams_independent_ssn_spaces() {
+        let mut rx = Receiver::new(2, 100);
+        rx.on_segment(Time::from_millis(0), 0, seg(0, 0));
+        rx.on_segment(Time::from_millis(1), 1, seg(1, 0));
+        assert_eq!(rx.take_delayed_ack(0).expect("pending").sub_next_ssn, 1);
+        let ack1 = rx.take_delayed_ack(1).expect("pending");
+        assert_eq!(ack1.sub_next_ssn, 1); // subflow 1's own counter
+        assert_eq!(ack1.data_next_dsn, 2);
+    }
+}

@@ -1,0 +1,639 @@
+//! The testbed: wires connections, paths and an application into a
+//! `simnet` discrete-event model. This plays the role of the paper's lab —
+//! server and mobile client, WiFi + LTE paths shaped with `tc`, and a
+//! workload application driving HTTP requests.
+//!
+//! Data flows server → client on each path's `fwd` link (shaped); requests
+//! and ACKs ride the unshaped `rev` link. The client application
+//! ([`Application`]) issues requests and reacts to completed responses,
+//! which is all a DASH player, a `wget` download, or a browser needs.
+
+use std::time::Duration;
+
+use ecf_core::SchedulerKind;
+use simnet::{
+    Engine, EventQueue, Model, Path, PathConfig, RateSchedule, RunOutcome, Time, Verdict,
+};
+use tcp_model::{wire_size, MSS};
+
+use crate::connection::{ConnConfig, Connection, Transmission};
+use crate::receiver::Receiver;
+use crate::segment::{segs_for_bytes, AckInfo, ConnId, ReqId, Segment, SubId};
+use crate::trace::{Recorder, RecorderConfig};
+
+/// Wire size of an HTTP GET (request line + headers, single packet).
+const REQUEST_WIRE_BYTES: u32 = 300;
+/// Wire size of a pure ACK.
+const ACK_WIRE_BYTES: u32 = 72;
+/// Linux delayed-ACK timeout.
+const DELACK_TIMEOUT: Duration = Duration::from_millis(40);
+
+/// Events of the testbed model.
+#[derive(Debug, Clone, Copy)]
+pub enum Event {
+    /// Kick the application's `on_start` at t=0.
+    AppStart,
+    /// A data segment arrives at the client.
+    Data {
+        /// Connection index.
+        conn: ConnId,
+        /// Subflow index within the connection.
+        sub: SubId,
+        /// The segment.
+        seg: Segment,
+    },
+    /// An ACK arrives back at the server.
+    Ack {
+        /// Connection index.
+        conn: ConnId,
+        /// Subflow index within the connection.
+        sub: SubId,
+        /// ACK payload.
+        ack: AckInfo,
+    },
+    /// A request arrives at the server.
+    Request {
+        /// Connection index.
+        conn: ConnId,
+        /// Request id.
+        req: ReqId,
+        /// Response size in segments.
+        segs: u64,
+    },
+    /// A delayed-ACK timer fires at the receiver.
+    DelAck {
+        /// Connection index.
+        conn: ConnId,
+        /// Subflow index.
+        sub: SubId,
+    },
+    /// A subflow's lazy RTO timer fires.
+    Rto {
+        /// Connection index.
+        conn: ConnId,
+        /// Subflow index.
+        sub: SubId,
+    },
+    /// An application timer fires.
+    AppTimer {
+        /// Opaque token the application chose.
+        token: u64,
+    },
+    /// A path's shaped (forward) rate changes.
+    RateChange {
+        /// Path index.
+        path: usize,
+        /// New rate, bits per second.
+        bps: u64,
+    },
+    /// A path goes down or comes back (handover, radio loss).
+    PathState {
+        /// Path index.
+        path: usize,
+        /// True = up, false = down.
+        up: bool,
+    },
+    /// A path's one-way propagation delay changes (wild RTT drift).
+    DelayChange {
+        /// Path index.
+        path: usize,
+        /// New one-way delay in microseconds.
+        one_way_us: u64,
+    },
+    /// Periodic trace sampling tick.
+    Sample,
+}
+
+/// The workload driver, running at the client. Implementations issue
+/// requests through [`Api`] and react to completions and timers.
+pub trait Application {
+    /// Called once at t=0.
+    fn on_start(&mut self, now: Time, api: &mut Api<'_>);
+    /// The full response to `req` has been delivered in order.
+    fn on_response_complete(&mut self, now: Time, conn: ConnId, req: ReqId, api: &mut Api<'_>);
+    /// A timer set through [`Api::set_timer`] fired.
+    fn on_timer(&mut self, _now: Time, _token: u64, _api: &mut Api<'_>) {}
+}
+
+/// Specification of one MPTCP connection in the testbed.
+pub struct ConnSpec {
+    /// Connection parameters.
+    pub cfg: ConnConfig,
+    /// Which scheduler this connection runs.
+    pub scheduler: SchedulerKind,
+    /// A custom scheduler instance overriding `scheduler` — the plug-in
+    /// point for schedulers defined outside this crate.
+    pub custom_scheduler: Option<Box<dyn ecf_core::Scheduler + Send>>,
+    /// Path index (into [`TestbedConfig::paths`]) per subflow; index 0 is the
+    /// primary subflow (carries requests), WiFi in the paper's setup.
+    pub subflow_paths: Vec<usize>,
+}
+
+impl ConnSpec {
+    /// A connection with default parameters running a built-in scheduler.
+    pub fn new(scheduler: SchedulerKind, subflow_paths: Vec<usize>) -> Self {
+        ConnSpec {
+            cfg: ConnConfig::default(),
+            scheduler,
+            custom_scheduler: None,
+            subflow_paths,
+        }
+    }
+
+    /// A connection running a user-provided scheduler implementation.
+    pub fn with_custom(
+        scheduler: Box<dyn ecf_core::Scheduler + Send>,
+        subflow_paths: Vec<usize>,
+    ) -> Self {
+        ConnSpec {
+            cfg: ConnConfig::default(),
+            scheduler: SchedulerKind::Default,
+            custom_scheduler: Some(scheduler),
+            subflow_paths,
+        }
+    }
+}
+
+/// Full testbed specification.
+pub struct TestbedConfig {
+    /// The physical paths.
+    pub paths: Vec<PathConfig>,
+    /// The connections (one per HTTP connection; a browser opens six).
+    pub conns: Vec<ConnSpec>,
+    /// Seed for link jitter/loss.
+    pub seed: u64,
+    /// What to record.
+    pub recorder: RecorderConfig,
+    /// Forward-rate schedules, `(path index, schedule)` (§5.3 experiments).
+    pub rate_schedules: Vec<(usize, RateSchedule)>,
+    /// One-way delay schedules (in-the-wild experiments).
+    pub delay_schedules: Vec<(usize, Vec<(Time, Duration)>)>,
+    /// Path up/down events (handover scenarios): `(when, path, up)`.
+    pub path_events: Vec<(Time, usize, bool)>,
+}
+
+impl TestbedConfig {
+    /// A two-path (WiFi + LTE) testbed with one connection, the common case.
+    pub fn wifi_lte(
+        wifi_mbps: f64,
+        lte_mbps: f64,
+        scheduler: SchedulerKind,
+        seed: u64,
+    ) -> Self {
+        TestbedConfig {
+            paths: vec![PathConfig::wifi(wifi_mbps), PathConfig::lte(lte_mbps)],
+            conns: vec![ConnSpec::new(scheduler, vec![0, 1])],
+            seed,
+            recorder: RecorderConfig::default(),
+            rate_schedules: Vec::new(),
+            delay_schedules: Vec::new(),
+            path_events: Vec::new(),
+        }
+    }
+}
+
+struct ConnState {
+    sender: Connection,
+    receiver: Receiver,
+    /// Path carrying requests (the primary subflow's path).
+    primary_path: usize,
+    /// Per-subflow: whether a delayed-ACK timer is outstanding.
+    delack_armed: Vec<bool>,
+}
+
+/// Mutable simulation state (everything except the application).
+pub struct World {
+    /// Live paths, indexed as in the config.
+    pub paths: Vec<Path>,
+    conns: Vec<ConnState>,
+    /// Collected measurements.
+    pub recorder: Recorder,
+    /// Per-path liveness (down paths drop everything offered to them).
+    path_up: Vec<bool>,
+    sample_every: Duration,
+    sampling: bool,
+}
+
+/// The application's handle into the running world.
+pub struct Api<'a> {
+    /// Current simulation time.
+    pub now: Time,
+    world: &'a mut World,
+    queue: &'a mut EventQueue<Event>,
+}
+
+impl Api<'_> {
+    /// Issue an HTTP GET for `bytes` of response payload on `conn`.
+    pub fn request(&mut self, conn: ConnId, bytes: u64) -> ReqId {
+        self.world.issue_request(self.now, conn, bytes, self.queue)
+    }
+
+    /// Arrange for [`Application::on_timer`] to fire at `at`.
+    pub fn set_timer(&mut self, at: Time, token: u64) {
+        self.queue.schedule(at, Event::AppTimer { token });
+    }
+
+    /// Read-only world access (counters, receiver state...).
+    pub fn world(&self) -> &World {
+        self.world
+    }
+}
+
+impl World {
+    fn build(cfg: &mut TestbedConfig) -> Self {
+        let paths: Vec<Path> = cfg
+            .paths
+            .iter()
+            .enumerate()
+            .map(|(i, pc)| Path::new(pc, cfg.seed.wrapping_add(i as u64 * 7919)))
+            .collect();
+        let path_cfgs = cfg.paths.clone();
+        let conns: Vec<ConnState> = cfg
+            .conns
+            .iter_mut()
+            .map(|spec| {
+                assert!(!spec.subflow_paths.is_empty());
+                let subflow_paths: Vec<(usize, Duration)> = spec
+                    .subflow_paths
+                    .iter()
+                    .map(|&p| (p, path_cfgs[p].base_rtt()))
+                    .collect();
+                let scheduler: Box<dyn ecf_core::Scheduler> = match spec.custom_scheduler.take()
+                {
+                    Some(custom) => custom,
+                    None => spec.scheduler.build(),
+                };
+                ConnState {
+                    sender: Connection::new(spec.cfg, scheduler, &subflow_paths),
+                    receiver: Receiver::new(spec.subflow_paths.len(), spec.cfg.rwnd_segs),
+                    primary_path: spec.subflow_paths[0],
+                    delack_armed: vec![false; spec.subflow_paths.len()],
+                }
+            })
+            .collect();
+        let subflow_counts: Vec<usize> =
+            cfg.conns.iter().map(|c| c.subflow_paths.len()).collect();
+        let recorder = Recorder::new(cfg.recorder, &subflow_counts);
+        let n_paths = paths.len();
+        World {
+            paths,
+            conns,
+            recorder,
+            path_up: vec![true; n_paths],
+            sample_every: cfg.recorder.sample_every,
+            sampling: cfg.recorder.cwnd_traces || cfg.recorder.sndbuf_traces,
+        }
+    }
+
+    /// The sender side of connection `c`.
+    pub fn sender(&self, c: ConnId) -> &Connection {
+        &self.conns[c].sender
+    }
+
+    /// The receiver side of connection `c`.
+    pub fn receiver(&self, c: ConnId) -> &Receiver {
+        &self.conns[c].receiver
+    }
+
+    /// Number of connections.
+    pub fn conn_count(&self) -> usize {
+        self.conns.len()
+    }
+
+    /// True when every connection has delivered everything written to it.
+    pub fn all_drained(&self) -> bool {
+        self.conns.iter().all(|c| c.sender.all_acked())
+    }
+
+    fn issue_request(
+        &mut self,
+        now: Time,
+        conn: ConnId,
+        bytes: u64,
+        q: &mut EventQueue<Event>,
+    ) -> ReqId {
+        let segs = segs_for_bytes(bytes);
+        let n_subs = self.conns[conn].sender.subflows.len();
+        let req = self.recorder.new_request(conn, bytes, segs, now, n_subs);
+        let path = self.conns[conn].primary_path;
+        // Requests ride the primary path if it is up, else any live path —
+        // a real client retries the GET over the surviving interface.
+        let path = if self.path_up[path] {
+            path
+        } else {
+            match (0..self.paths.len()).find(|&p| self.path_up[p]) {
+                Some(p) => p,
+                // Total blackout: the request is lost (the application will
+                // observe a stall until it retries on recovery).
+                None => return req,
+            }
+        };
+        let arrival = match self.paths[path].rev.enqueue(now, REQUEST_WIRE_BYTES) {
+            Verdict::Deliver { arrival } => arrival,
+            // The reverse link is engineered lossless, but stay robust.
+            _ => now + self.paths[path].rev.prop_delay(),
+        };
+        q.schedule(arrival, Event::Request { conn, req, segs });
+        req
+    }
+
+    fn transmit(
+        &mut self,
+        now: Time,
+        conn: ConnId,
+        plan: &[Transmission],
+        q: &mut EventQueue<Event>,
+    ) {
+        for t in plan {
+            let path_idx = self.conns[conn].sender.subflows[t.sub].path;
+            // A down path swallows everything (radio gone); recovery runs
+            // through RTO and reinjection exactly as for tail loss.
+            if self.path_up[path_idx] {
+                if let Verdict::Deliver { arrival } =
+                    self.paths[path_idx].fwd.enqueue(now, wire_size(MSS))
+                {
+                    q.schedule(arrival, Event::Data { conn, sub: t.sub, seg: t.seg });
+                }
+            }
+            // Dropped segments stay in the retransmission queue; dupacks or
+            // the RTO recover them.
+            self.arm_rto(conn, t.sub, q);
+        }
+    }
+
+    fn arm_rto(&mut self, conn: ConnId, sub: SubId, q: &mut EventQueue<Event>) {
+        let sf = &mut self.conns[conn].sender.subflows[sub];
+        if !sf.rto_scheduled && sf.rto_deadline != Time::MAX {
+            sf.rto_scheduled = true;
+            q.schedule(sf.rto_deadline, Event::Rto { conn, sub });
+        }
+    }
+
+    fn on_request(&mut self, now: Time, conn: ConnId, req: ReqId, segs: u64, q: &mut EventQueue<Event>) {
+        let rec = &mut self.recorder.requests[req as usize];
+        rec.server_arrival = Some(now);
+        let (first, last) = self.conns[conn].sender.server_write(req, segs);
+        let rec = &mut self.recorder.requests[req as usize];
+        rec.first_dsn = first;
+        rec.last_dsn = last;
+        let plan = self.conns[conn].sender.try_send(now);
+        self.transmit(now, conn, &plan, q);
+    }
+
+    fn on_data(
+        &mut self,
+        now: Time,
+        conn: ConnId,
+        sub: SubId,
+        seg: Segment,
+        q: &mut EventQueue<Event>,
+    ) -> Vec<ReqId> {
+        // Map the dsn to its request for last-packet bookkeeping.
+        let owner = self.conns[conn]
+            .sender
+            .response_bounds
+            .iter()
+            .find(|&&(req, _)| {
+                let r = &self.recorder.requests[req as usize];
+                seg.dsn >= r.first_dsn && seg.dsn <= r.last_dsn
+            })
+            .map(|&(req, _)| req);
+        if let Some(req) = owner {
+            self.recorder.note_arrival(req, sub, now);
+        }
+
+        let out = self.conns[conn].receiver.on_segment(now, sub, seg);
+        for d in &out.delivered {
+            self.recorder.note_ooo(d.ooo_delay);
+        }
+
+        // Complete responses whose last dsn is now delivered.
+        let meta_next = self.conns[conn].receiver.meta_next();
+        let mut completed = Vec::new();
+        while let Some(&(req, last)) = self.conns[conn].sender.response_bounds.front() {
+            if last < meta_next {
+                self.conns[conn].sender.response_bounds.pop_front();
+                self.recorder.requests[req as usize].completed = Some(now);
+                completed.push(req);
+            } else {
+                break;
+            }
+        }
+
+        // ACK back on the same path's reverse link (possibly delayed).
+        if let Some(ack) = out.ack {
+            self.send_ack(now, conn, sub, ack, q);
+        } else if out.arm_delack && !self.conns[conn].delack_armed[sub] {
+            self.conns[conn].delack_armed[sub] = true;
+            q.schedule(now + DELACK_TIMEOUT, Event::DelAck { conn, sub });
+        }
+        completed
+    }
+
+    fn send_ack(
+        &mut self,
+        now: Time,
+        conn: ConnId,
+        sub: SubId,
+        ack: AckInfo,
+        q: &mut EventQueue<Event>,
+    ) {
+        let path_idx = self.conns[conn].sender.subflows[sub].path;
+        // A down path is a dead radio in both directions.
+        if !self.path_up[path_idx] {
+            return;
+        }
+        if let Verdict::Deliver { arrival } = self.paths[path_idx].rev.enqueue(now, ACK_WIRE_BYTES)
+        {
+            q.schedule(arrival, Event::Ack { conn, sub, ack });
+        }
+    }
+
+    fn on_delack(&mut self, now: Time, conn: ConnId, sub: SubId, q: &mut EventQueue<Event>) {
+        self.conns[conn].delack_armed[sub] = false;
+        if let Some(ack) = self.conns[conn].receiver.take_delayed_ack(sub) {
+            self.send_ack(now, conn, sub, ack, q);
+        }
+    }
+
+    fn on_ack(&mut self, now: Time, conn: ConnId, sub: SubId, ack: AckInfo, q: &mut EventQueue<Event>) {
+        let fast_retx = self.conns[conn].sender.on_ack(now, sub, &ack);
+        if let Some(seg) = fast_retx {
+            let path_idx = self.conns[conn].sender.subflows[sub].path;
+            if self.path_up[path_idx] {
+                if let Verdict::Deliver { arrival } =
+                    self.paths[path_idx].fwd.enqueue(now, wire_size(MSS))
+                {
+                    q.schedule(arrival, Event::Data { conn, sub, seg });
+                }
+            }
+        }
+        let plan = self.conns[conn].sender.try_send(now);
+        self.transmit(now, conn, &plan, q);
+        self.arm_rto(conn, sub, q);
+    }
+
+    fn on_rto(&mut self, now: Time, conn: ConnId, sub: SubId, q: &mut EventQueue<Event>) {
+        self.conns[conn].sender.subflows[sub].rto_scheduled = false;
+        if let Some(seg) = self.conns[conn].sender.subflows[sub].on_rto_fire(now) {
+            let path_idx = self.conns[conn].sender.subflows[sub].path;
+            if self.path_up[path_idx] {
+                if let Verdict::Deliver { arrival } =
+                    self.paths[path_idx].fwd.enqueue(now, wire_size(MSS))
+                {
+                    q.schedule(arrival, Event::Data { conn, sub, seg });
+                }
+            }
+        }
+        self.arm_rto(conn, sub, q);
+    }
+
+    fn on_path_state(&mut self, now: Time, path: usize, up: bool, q: &mut EventQueue<Event>) {
+        self.path_up[path] = up;
+        for c in 0..self.conns.len() {
+            let subs: Vec<SubId> = self.conns[c]
+                .sender
+                .subflows
+                .iter()
+                .enumerate()
+                .filter(|(_, sf)| sf.path == path)
+                .map(|(i, _)| i)
+                .collect();
+            for sub in subs {
+                if up {
+                    self.conns[c].sender.on_subflow_up(sub);
+                } else {
+                    self.conns[c].sender.on_subflow_down(sub);
+                }
+            }
+            // Reinjections (down) or fresh capacity (up) may unblock sends.
+            let plan = self.conns[c].sender.try_send(now);
+            self.transmit(now, c, &plan, q);
+        }
+    }
+
+    fn record_samples(&mut self, now: Time) {
+        let t = now.as_secs_f64();
+        for (ci, cs) in self.conns.iter().enumerate() {
+            for (si, sf) in cs.sender.subflows.iter().enumerate() {
+                if let Some(series) = self.recorder.cwnd.get_mut(ci) {
+                    series[si].push(t, f64::from(sf.cc.cwnd_pkts()));
+                }
+                if let Some(series) = self.recorder.sndbuf.get_mut(ci) {
+                    let kb = f64::from(sf.inflight_count()) * f64::from(MSS) / 1024.0;
+                    series[si].push(t, kb);
+                }
+            }
+        }
+    }
+}
+
+/// The complete model: world + application.
+pub struct Sim<A: Application> {
+    /// Simulation state.
+    pub world: World,
+    /// The workload driver.
+    pub app: A,
+}
+
+impl<A: Application> Model for Sim<A> {
+    type Event = Event;
+
+    fn handle(&mut self, now: Time, ev: Event, q: &mut EventQueue<Event>) {
+        match ev {
+            Event::AppStart => {
+                let mut api = Api { now, world: &mut self.world, queue: q };
+                self.app.on_start(now, &mut api);
+            }
+            Event::AppTimer { token } => {
+                let mut api = Api { now, world: &mut self.world, queue: q };
+                self.app.on_timer(now, token, &mut api);
+            }
+            Event::Request { conn, req, segs } => self.world.on_request(now, conn, req, segs, q),
+            Event::Data { conn, sub, seg } => {
+                let completed = self.world.on_data(now, conn, sub, seg, q);
+                for req in completed {
+                    let mut api = Api { now, world: &mut self.world, queue: q };
+                    self.app.on_response_complete(now, conn, req, &mut api);
+                }
+            }
+            Event::Ack { conn, sub, ack } => self.world.on_ack(now, conn, sub, ack, q),
+            Event::DelAck { conn, sub } => self.world.on_delack(now, conn, sub, q),
+            Event::Rto { conn, sub } => self.world.on_rto(now, conn, sub, q),
+            Event::PathState { path, up } => self.world.on_path_state(now, path, up, q),
+            Event::RateChange { path, bps } => self.world.paths[path].fwd.set_rate_bps(bps),
+            Event::DelayChange { path, one_way_us } => {
+                let d = Duration::from_micros(one_way_us);
+                self.world.paths[path].fwd.set_prop_delay(d);
+                self.world.paths[path].rev.set_prop_delay(d);
+            }
+            Event::Sample => {
+                self.world.record_samples(now);
+                if self.world.sampling {
+                    q.schedule(now + self.world.sample_every, Event::Sample);
+                }
+            }
+        }
+    }
+}
+
+/// A ready-to-run testbed: engine + model, with control events pre-scheduled.
+pub struct Testbed<A: Application> {
+    engine: Engine<Sim<A>>,
+}
+
+impl<A: Application> Testbed<A> {
+    /// Build the world from `cfg`, install `app`, and schedule the start
+    /// event plus any rate/delay schedules.
+    pub fn new(mut cfg: TestbedConfig, app: A) -> Self {
+        let world = World::build(&mut cfg);
+        let sampling = world.sampling;
+        let mut engine = Engine::new(Sim { world, app });
+        engine.queue_mut().schedule(Time::ZERO, Event::AppStart);
+        if sampling {
+            engine.queue_mut().schedule(Time::ZERO, Event::Sample);
+        }
+        for (path, sched) in &cfg.rate_schedules {
+            for &(at, bps) in &sched.changes {
+                engine.queue_mut().schedule(at, Event::RateChange { path: *path, bps });
+            }
+        }
+        for (path, sched) in &cfg.delay_schedules {
+            for &(at, d) in sched {
+                engine.queue_mut().schedule(
+                    at,
+                    Event::DelayChange { path: *path, one_way_us: d.as_micros() as u64 },
+                );
+            }
+        }
+        for &(at, path, up) in &cfg.path_events {
+            engine.queue_mut().schedule(at, Event::PathState { path, up });
+        }
+        Testbed { engine }
+    }
+
+    /// Run until `deadline` (or the event queue drains).
+    pub fn run_until(&mut self, deadline: Time) -> RunOutcome {
+        self.engine.run_until(deadline)
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> Time {
+        self.engine.now()
+    }
+
+    /// Events processed so far (diagnostic).
+    pub fn events_processed(&self) -> u64 {
+        self.engine.processed()
+    }
+
+    /// The world (measurements, connections, paths).
+    pub fn world(&self) -> &World {
+        &self.engine.model.world
+    }
+
+    /// The application.
+    pub fn app(&self) -> &A {
+        &self.engine.model.app
+    }
+}

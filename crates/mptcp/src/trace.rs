@@ -1,0 +1,222 @@
+//! Measurement hooks: everything the experiments need to regenerate the
+//! paper's figures is collected here, keyed so a single run can feed several
+//! figures (e.g. one streaming run yields bitrate, traffic split, CWND
+//! traces, IW resets and OOO delay at once).
+
+use std::time::Duration;
+
+use metrics::TimeSeries;
+use simnet::Time;
+
+use crate::segment::{ConnId, ReqId, SubId};
+
+/// What to collect during a run. Per-segment OOO delays are cheap; the
+/// periodic traces cost one event per `sample_every`.
+#[derive(Debug, Clone, Copy)]
+pub struct RecorderConfig {
+    /// Collect per-segment out-of-order delays (Figs 13, 14, 21, 23).
+    pub ooo_delays: bool,
+    /// Sample per-subflow CWND (Figs 11, 12).
+    pub cwnd_traces: bool,
+    /// Sample per-subflow send-buffer occupancy (Fig 3).
+    pub sndbuf_traces: bool,
+    /// Sampling period for the periodic traces.
+    pub sample_every: Duration,
+}
+
+impl Default for RecorderConfig {
+    fn default() -> Self {
+        RecorderConfig {
+            ooo_delays: true,
+            cwnd_traces: false,
+            sndbuf_traces: false,
+            sample_every: Duration::from_millis(100),
+        }
+    }
+}
+
+/// Lifecycle record of one application request (HTTP GET → response).
+#[derive(Debug, Clone)]
+pub struct RequestRecord {
+    /// Connection the request rode on.
+    pub conn: ConnId,
+    /// Response payload size the application asked for, in bytes.
+    pub bytes: u64,
+    /// Response size in segments.
+    pub segs: u64,
+    /// First dsn of the response (set when the server writes it).
+    pub first_dsn: u64,
+    /// Last dsn of the response, inclusive.
+    pub last_dsn: u64,
+    /// When the client issued the GET.
+    pub issued: Time,
+    /// When the GET reached the server.
+    pub server_arrival: Option<Time>,
+    /// When the last byte was delivered in order at the client.
+    pub completed: Option<Time>,
+    /// Per subflow: arrival time of the last data segment of this response
+    /// seen on that subflow (Fig 5's "time difference of last packets").
+    pub last_arrival_per_sub: Vec<Option<Time>>,
+    /// Per subflow: data segments of this response that arrived on it.
+    pub arrivals_per_sub: Vec<u64>,
+}
+
+impl RequestRecord {
+    /// Completion time (download duration), if finished.
+    pub fn completion_time(&self) -> Option<Duration> {
+        self.completed.map(|c| c.since(self.issued))
+    }
+
+    /// Goodput of this request in Mbps, if finished.
+    pub fn throughput_mbps(&self) -> Option<f64> {
+        self.completion_time().map(|d| {
+            let secs = d.as_secs_f64().max(1e-9);
+            self.bytes as f64 * 8.0 / secs / 1e6
+        })
+    }
+
+    /// Gap between the last packets over the two first subflows
+    /// (Fig 5), if both carried data.
+    pub fn last_packet_gap(&self) -> Option<Duration> {
+        match (self.last_arrival_per_sub.first()?, self.last_arrival_per_sub.get(1)?) {
+            (Some(a), Some(b)) => Some(if a > b { a.since(*b) } else { b.since(*a) }),
+            _ => None,
+        }
+    }
+}
+
+/// All measurements of one testbed run.
+pub struct Recorder {
+    /// Collection configuration.
+    pub cfg: RecorderConfig,
+    /// Request lifecycles, indexed by `ReqId`.
+    pub requests: Vec<RequestRecord>,
+    /// Out-of-order delays, microseconds, all connections pooled.
+    pub ooo_delays_us: Vec<u64>,
+    /// CWND traces `[conn][sub]` in segments, seconds on the x axis.
+    pub cwnd: Vec<Vec<TimeSeries>>,
+    /// Send-buffer occupancy traces `[conn][sub]` in KB.
+    pub sndbuf: Vec<Vec<TimeSeries>>,
+}
+
+impl Recorder {
+    /// Recorder for connections with the given subflow counts.
+    pub fn new(cfg: RecorderConfig, subflow_counts: &[usize]) -> Self {
+        let mk = |on: bool| {
+            if on {
+                subflow_counts.iter().map(|&n| vec![TimeSeries::new(); n]).collect()
+            } else {
+                Vec::new()
+            }
+        };
+        Recorder {
+            cfg,
+            requests: Vec::new(),
+            ooo_delays_us: Vec::new(),
+            cwnd: mk(cfg.cwnd_traces),
+            sndbuf: mk(cfg.sndbuf_traces),
+        }
+    }
+
+    /// Register a freshly issued request; returns its id.
+    pub fn new_request(
+        &mut self,
+        conn: ConnId,
+        bytes: u64,
+        segs: u64,
+        issued: Time,
+        n_subflows: usize,
+    ) -> ReqId {
+        let id = self.requests.len() as ReqId;
+        self.requests.push(RequestRecord {
+            conn,
+            bytes,
+            segs,
+            first_dsn: 0,
+            last_dsn: 0,
+            issued,
+            server_arrival: None,
+            completed: None,
+            last_arrival_per_sub: vec![None; n_subflows],
+            arrivals_per_sub: vec![0; n_subflows],
+        });
+        id
+    }
+
+    /// Note a data arrival belonging to request `req` on subflow `sub`.
+    pub fn note_arrival(&mut self, req: ReqId, sub: SubId, now: Time) {
+        let r = &mut self.requests[req as usize];
+        r.last_arrival_per_sub[sub] = Some(now);
+        r.arrivals_per_sub[sub] += 1;
+    }
+
+    /// Record one delivered segment's reordering delay.
+    pub fn note_ooo(&mut self, delay: Duration) {
+        if self.cfg.ooo_delays {
+            self.ooo_delays_us.push(u64::try_from(delay.as_micros()).unwrap_or(u64::MAX));
+        }
+    }
+
+    /// Completed requests only, in issue order.
+    pub fn completed_requests(&self) -> impl Iterator<Item = &RequestRecord> {
+        self.requests.iter().filter(|r| r.completed.is_some())
+    }
+
+    /// OOO delays as seconds, for CDF construction.
+    pub fn ooo_delays_secs(&self) -> Vec<f64> {
+        self.ooo_delays_us.iter().map(|&us| us as f64 / 1e6).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_lifecycle_metrics() {
+        let mut rec = Recorder::new(RecorderConfig::default(), &[2]);
+        let id = rec.new_request(0, 1_000_000, 691, Time::from_secs(1), 2);
+        rec.note_arrival(id, 0, Time::from_millis(1_500));
+        rec.note_arrival(id, 1, Time::from_millis(2_200));
+        rec.requests[id as usize].completed = Some(Time::from_secs(3));
+        let r = &rec.requests[id as usize];
+        assert_eq!(r.completion_time(), Some(Duration::from_secs(2)));
+        // 1 MB over 2 s = 4 Mbps.
+        assert!((r.throughput_mbps().unwrap() - 4.0).abs() < 1e-9);
+        assert_eq!(r.last_packet_gap(), Some(Duration::from_millis(700)));
+        assert_eq!(rec.completed_requests().count(), 1);
+    }
+
+    #[test]
+    fn gap_needs_both_subflows() {
+        let mut rec = Recorder::new(RecorderConfig::default(), &[2]);
+        let id = rec.new_request(0, 1000, 1, Time::ZERO, 2);
+        rec.note_arrival(id, 0, Time::from_millis(10));
+        assert_eq!(rec.requests[id as usize].last_packet_gap(), None);
+    }
+
+    #[test]
+    fn ooo_collection_respects_flag() {
+        let mut rec = Recorder::new(
+            RecorderConfig { ooo_delays: false, ..RecorderConfig::default() },
+            &[1],
+        );
+        rec.note_ooo(Duration::from_millis(5));
+        assert!(rec.ooo_delays_us.is_empty());
+
+        let mut rec = Recorder::new(RecorderConfig::default(), &[1]);
+        rec.note_ooo(Duration::from_millis(5));
+        assert_eq!(rec.ooo_delays_secs(), vec![0.005]);
+    }
+
+    #[test]
+    fn trace_matrices_sized_by_flags() {
+        let rec = Recorder::new(
+            RecorderConfig { cwnd_traces: true, ..RecorderConfig::default() },
+            &[2, 3],
+        );
+        assert_eq!(rec.cwnd.len(), 2);
+        assert_eq!(rec.cwnd[1].len(), 3);
+        assert!(rec.sndbuf.is_empty());
+    }
+}

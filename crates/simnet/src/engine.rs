@@ -1,0 +1,270 @@
+//! Discrete-event engine.
+//!
+//! The engine is deliberately minimal, in the spirit of event-driven stacks
+//! like smoltcp: a model is a plain state machine that receives events and may
+//! schedule more. Determinism comes from a strict ordering of the event heap —
+//! ties in time are broken by insertion sequence number, so two runs with the
+//! same inputs pop events in exactly the same order.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::Time;
+
+/// A state machine driven by the [`Engine`].
+pub trait Model {
+    /// The event alphabet of this model.
+    type Event;
+
+    /// Handle one event at simulated time `now`, scheduling any follow-ups
+    /// through `sched`.
+    fn handle(&mut self, now: Time, event: Self::Event, sched: &mut EventQueue<Self::Event>);
+}
+
+struct Entry<E> {
+    at: Time,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops first.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// A deterministic future-event list.
+///
+/// Events at equal times are delivered in the order they were scheduled.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+    scheduled_total: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue.
+    pub fn new() -> Self {
+        EventQueue { heap: BinaryHeap::new(), next_seq: 0, scheduled_total: 0 }
+    }
+
+    /// Schedule `event` to fire at absolute time `at`.
+    pub fn schedule(&mut self, at: Time, event: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.scheduled_total += 1;
+        self.heap.push(Entry { at, seq, event });
+    }
+
+    /// Time of the next pending event, if any.
+    pub fn peek_time(&self) -> Option<Time> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Remove and return the next (earliest) event.
+    pub fn pop(&mut self) -> Option<(Time, E)> {
+        self.heap.pop().map(|e| (e.at, e.event))
+    }
+
+    /// Number of events currently pending.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total number of events ever scheduled (diagnostic).
+    pub fn scheduled_total(&self) -> u64 {
+        self.scheduled_total
+    }
+}
+
+/// Outcome of [`Engine::run_until`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// The queue drained before the deadline.
+    Drained,
+    /// The deadline was reached with events still pending.
+    DeadlineReached,
+    /// The configured event budget was exhausted (runaway-model guard).
+    BudgetExhausted,
+}
+
+/// Drives a [`Model`] until a deadline, the queue drains, or an event budget
+/// is exhausted.
+pub struct Engine<M: Model> {
+    /// The model under simulation.
+    pub model: M,
+    queue: EventQueue<M::Event>,
+    now: Time,
+    processed: u64,
+    /// Stop after this many events as a guard against runaway models.
+    pub event_budget: u64,
+}
+
+impl<M: Model> Engine<M> {
+    /// Wrap `model` with an empty event queue at t=0.
+    pub fn new(model: M) -> Self {
+        Engine {
+            model,
+            queue: EventQueue::new(),
+            now: Time::ZERO,
+            processed: 0,
+            event_budget: u64::MAX,
+        }
+    }
+
+    /// Current simulation time (time of the last handled event).
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Number of events handled so far.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Access the queue, e.g. to seed initial events.
+    pub fn queue_mut(&mut self) -> &mut EventQueue<M::Event> {
+        &mut self.queue
+    }
+
+    /// Run until `deadline` (inclusive). Events scheduled exactly at the
+    /// deadline are processed.
+    pub fn run_until(&mut self, deadline: Time) -> RunOutcome {
+        while let Some(at) = self.queue.peek_time() {
+            if at > deadline {
+                self.now = deadline;
+                return RunOutcome::DeadlineReached;
+            }
+            if self.processed >= self.event_budget {
+                return RunOutcome::BudgetExhausted;
+            }
+            let (at, ev) = self.queue.pop().expect("peeked entry must pop");
+            debug_assert!(at >= self.now, "event scheduled in the past");
+            self.now = at;
+            self.processed += 1;
+            self.model.handle(at, ev, &mut self.queue);
+        }
+        RunOutcome::Drained
+    }
+
+    /// Run until the queue drains completely.
+    pub fn run_to_completion(&mut self) -> RunOutcome {
+        self.run_until(Time::MAX)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    /// Records the order events are seen in; re-schedules chains.
+    struct Recorder {
+        seen: Vec<(Time, u32)>,
+    }
+
+    impl Model for Recorder {
+        type Event = u32;
+        fn handle(&mut self, now: Time, ev: u32, sched: &mut EventQueue<u32>) {
+            self.seen.push((now, ev));
+            // Event 100 spawns a chain of two more.
+            if ev == 100 {
+                sched.schedule(now + Duration::from_millis(1), 101);
+                sched.schedule(now + Duration::from_millis(1), 102);
+            }
+        }
+    }
+
+    #[test]
+    fn fifo_within_same_instant() {
+        let mut eng = Engine::new(Recorder { seen: vec![] });
+        let t = Time::from_millis(5);
+        eng.queue_mut().schedule(t, 1);
+        eng.queue_mut().schedule(t, 2);
+        eng.queue_mut().schedule(t, 3);
+        assert_eq!(eng.run_to_completion(), RunOutcome::Drained);
+        let evs: Vec<u32> = eng.model.seen.iter().map(|&(_, e)| e).collect();
+        assert_eq!(evs, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn time_ordering_dominates_insertion() {
+        let mut eng = Engine::new(Recorder { seen: vec![] });
+        eng.queue_mut().schedule(Time::from_millis(9), 1);
+        eng.queue_mut().schedule(Time::from_millis(3), 2);
+        eng.run_to_completion();
+        let evs: Vec<u32> = eng.model.seen.iter().map(|&(_, e)| e).collect();
+        assert_eq!(evs, vec![2, 1]);
+    }
+
+    #[test]
+    fn chained_events_run() {
+        let mut eng = Engine::new(Recorder { seen: vec![] });
+        eng.queue_mut().schedule(Time::from_millis(1), 100);
+        eng.run_to_completion();
+        let evs: Vec<u32> = eng.model.seen.iter().map(|&(_, e)| e).collect();
+        assert_eq!(evs, vec![100, 101, 102]);
+        assert_eq!(eng.processed(), 3);
+    }
+
+    #[test]
+    fn deadline_stops_early() {
+        let mut eng = Engine::new(Recorder { seen: vec![] });
+        eng.queue_mut().schedule(Time::from_millis(1), 1);
+        eng.queue_mut().schedule(Time::from_millis(10), 2);
+        let out = eng.run_until(Time::from_millis(5));
+        assert_eq!(out, RunOutcome::DeadlineReached);
+        assert_eq!(eng.model.seen.len(), 1);
+        assert_eq!(eng.now(), Time::from_millis(5));
+        // Resume to the end.
+        assert_eq!(eng.run_to_completion(), RunOutcome::Drained);
+        assert_eq!(eng.model.seen.len(), 2);
+    }
+
+    #[test]
+    fn deadline_inclusive() {
+        let mut eng = Engine::new(Recorder { seen: vec![] });
+        eng.queue_mut().schedule(Time::from_millis(5), 7);
+        assert_eq!(eng.run_until(Time::from_millis(5)), RunOutcome::Drained);
+        assert_eq!(eng.model.seen.len(), 1);
+    }
+
+    #[test]
+    fn budget_guard() {
+        struct Looper;
+        impl Model for Looper {
+            type Event = ();
+            fn handle(&mut self, now: Time, _: (), sched: &mut EventQueue<()>) {
+                sched.schedule(now + Duration::from_nanos(1), ());
+            }
+        }
+        let mut eng = Engine::new(Looper);
+        eng.event_budget = 1000;
+        eng.queue_mut().schedule(Time::ZERO, ());
+        assert_eq!(eng.run_to_completion(), RunOutcome::BudgetExhausted);
+        assert_eq!(eng.processed(), 1000);
+    }
+}

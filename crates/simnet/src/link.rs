@@ -1,0 +1,355 @@
+//! Shaped link model.
+//!
+//! A [`Link`] is one direction of a path: a droptail FIFO queue draining at a
+//! configurable rate, followed by a fixed propagation delay (plus optional
+//! bounded jitter). This is exactly the shape produced by the paper's `tc`
+//! token-bucket regulation on the server egress: serialization at the shaped
+//! rate, bufferbloat in the queue, then the physical path delay.
+//!
+//! The link is *passive*: `enqueue` computes the arrival time analytically and
+//! the caller schedules the delivery event. Packets on a link never reorder
+//! (arrival times are clamped monotonic), which mirrors a real FIFO pipe and
+//! is what lets the TCP model detect loss purely from sequence gaps.
+
+use std::collections::VecDeque;
+use std::time::Duration;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::time::Time;
+
+/// Static configuration of one link direction.
+#[derive(Debug, Clone)]
+pub struct LinkConfig {
+    /// Drain rate in bits per second.
+    pub rate_bps: u64,
+    /// One-way propagation delay.
+    pub prop_delay: Duration,
+    /// Droptail queue capacity in bytes. Packets that would overflow it are
+    /// dropped. Use a large value to model an effectively unbuffered pipe.
+    pub queue_limit_bytes: u64,
+    /// When set, the queue is *latency-sized* like a `tc tbf latency` knob:
+    /// capacity = rate × latency (clamped to [32 KB, 2 MB]) and it is
+    /// re-derived whenever the rate changes.
+    pub queue_latency: Option<Duration>,
+    /// Maximum additional per-packet delay, drawn uniformly in
+    /// `[0, jitter_max]`. Arrivals are clamped to stay FIFO.
+    pub jitter_max: Duration,
+    /// Independent per-packet drop probability (0 disables).
+    pub loss_rate: f64,
+}
+
+impl LinkConfig {
+    /// A link shaped to `mbps` with the given propagation delay and queue, no
+    /// jitter or random loss.
+    pub fn shaped(mbps: f64, prop_delay: Duration, queue_limit_bytes: u64) -> Self {
+        LinkConfig {
+            rate_bps: (mbps * 1e6) as u64,
+            prop_delay,
+            queue_limit_bytes,
+            queue_latency: None,
+            jitter_max: Duration::ZERO,
+            loss_rate: 0.0,
+        }
+    }
+
+    /// A link shaped to `mbps` whose droptail queue holds `latency` worth of
+    /// traffic at the shaped rate — how `tc tbf latency` provisions queues.
+    pub fn shaped_latency(mbps: f64, prop_delay: Duration, latency: Duration) -> Self {
+        let rate_bps = (mbps * 1e6) as u64;
+        LinkConfig {
+            rate_bps,
+            prop_delay,
+            queue_limit_bytes: latency_queue_bytes(rate_bps, latency),
+            queue_latency: Some(latency),
+            jitter_max: Duration::ZERO,
+            loss_rate: 0.0,
+        }
+    }
+
+    /// An effectively unshaped reverse path: line-rate drain, generous queue.
+    /// Used for the ACK direction, which the paper does not regulate.
+    pub fn reverse(prop_delay: Duration) -> Self {
+        LinkConfig {
+            rate_bps: 1_000_000_000, // 1 Gbps
+            prop_delay,
+            queue_limit_bytes: 16 * 1024 * 1024,
+            queue_latency: None,
+            jitter_max: Duration::ZERO,
+            loss_rate: 0.0,
+        }
+    }
+}
+
+/// Queue capacity for a latency-sized droptail: rate × latency, clamped to
+/// [32 KB, 2 MB].
+fn latency_queue_bytes(rate_bps: u64, latency: Duration) -> u64 {
+    let bytes = (rate_bps as f64 / 8.0 * latency.as_secs_f64()) as u64;
+    bytes.clamp(32 * 1024, 2 * 1024 * 1024)
+}
+
+/// Result of offering a packet to a link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// The packet will arrive at the far end at this time.
+    Deliver {
+        /// Arrival time at the far end of the link.
+        arrival: Time,
+    },
+    /// Dropped: the droptail queue was full.
+    DropQueue,
+    /// Dropped: random loss.
+    DropRandom,
+}
+
+/// Counters accumulated over the life of a link.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LinkStats {
+    /// Packets accepted and delivered.
+    pub delivered_pkts: u64,
+    /// Bytes accepted and delivered.
+    pub delivered_bytes: u64,
+    /// Packets dropped by queue overflow.
+    pub dropped_queue: u64,
+    /// Packets dropped by random loss.
+    pub dropped_random: u64,
+}
+
+/// One direction of a network path. See the module docs.
+pub struct Link {
+    cfg: LinkConfig,
+    /// Completion time of the serialization of the last accepted packet.
+    busy_until: Time,
+    /// (serialization completion, size) of packets still occupying the queue.
+    in_queue: VecDeque<(Time, u32)>,
+    /// Bytes currently in `in_queue` (kept incrementally).
+    queued_bytes: u64,
+    /// Latest arrival handed out, for FIFO clamping under jitter.
+    last_arrival: Time,
+    rng: SmallRng,
+    stats: LinkStats,
+}
+
+impl Link {
+    /// Create a link; `seed` drives jitter and random loss only.
+    pub fn new(cfg: LinkConfig, seed: u64) -> Self {
+        Link {
+            cfg,
+            busy_until: Time::ZERO,
+            in_queue: VecDeque::new(),
+            queued_bytes: 0,
+            last_arrival: Time::ZERO,
+            rng: SmallRng::seed_from_u64(seed),
+            stats: LinkStats::default(),
+        }
+    }
+
+    /// Current drain rate in bits per second.
+    pub fn rate_bps(&self) -> u64 {
+        self.cfg.rate_bps
+    }
+
+    /// Change the drain rate (models `tc` re-regulation / wild variation).
+    ///
+    /// Packets already accepted keep their computed departure times: a rate
+    /// change affects subsequent arrivals only, so its effect settles within
+    /// one queue drain. This is documented in DESIGN.md as an approximation.
+    /// Latency-sized queues are re-derived for the new rate.
+    pub fn set_rate_bps(&mut self, rate_bps: u64) {
+        self.cfg.rate_bps = rate_bps.max(1);
+        if let Some(latency) = self.cfg.queue_latency {
+            self.cfg.queue_limit_bytes = latency_queue_bytes(self.cfg.rate_bps, latency);
+        }
+    }
+
+    /// One-way propagation delay.
+    pub fn prop_delay(&self) -> Duration {
+        self.cfg.prop_delay
+    }
+
+    /// Update the propagation delay (wild RTT drift model).
+    pub fn set_prop_delay(&mut self, d: Duration) {
+        self.cfg.prop_delay = d;
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> LinkStats {
+        self.stats
+    }
+
+    /// Bytes currently waiting in (or being serialized out of) the queue.
+    pub fn queued_bytes(&mut self, now: Time) -> u64 {
+        self.expire(now);
+        self.queued_bytes
+    }
+
+    fn expire(&mut self, now: Time) {
+        while let Some(&(dep, bytes)) = self.in_queue.front() {
+            if dep <= now {
+                self.in_queue.pop_front();
+                self.queued_bytes -= u64::from(bytes);
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn serialization(&self, wire_bytes: u32) -> Duration {
+        let nanos =
+            (u128::from(wire_bytes) * 8 * 1_000_000_000) / u128::from(self.cfg.rate_bps.max(1));
+        Duration::from_nanos(u64::try_from(nanos).unwrap_or(u64::MAX))
+    }
+
+    /// Offer a packet of `wire_bytes` to the link at time `now`.
+    pub fn enqueue(&mut self, now: Time, wire_bytes: u32) -> Verdict {
+        self.expire(now);
+        if self.cfg.loss_rate > 0.0 && self.rng.gen::<f64>() < self.cfg.loss_rate {
+            self.stats.dropped_random += 1;
+            return Verdict::DropRandom;
+        }
+        if self.queued_bytes + u64::from(wire_bytes) > self.cfg.queue_limit_bytes {
+            self.stats.dropped_queue += 1;
+            return Verdict::DropQueue;
+        }
+        let start = self.busy_until.max(now);
+        let departure = start + self.serialization(wire_bytes);
+        self.busy_until = departure;
+        self.in_queue.push_back((departure, wire_bytes));
+        self.queued_bytes += u64::from(wire_bytes);
+
+        let jitter = if self.cfg.jitter_max > Duration::ZERO {
+            let max = crate::time::dur_nanos(self.cfg.jitter_max);
+            Duration::from_nanos(self.rng.gen_range(0..=max))
+        } else {
+            Duration::ZERO
+        };
+        let mut arrival = departure + self.cfg.prop_delay + jitter;
+        // FIFO: never hand out an arrival earlier than a previous one.
+        if arrival < self.last_arrival {
+            arrival = self.last_arrival;
+        }
+        self.last_arrival = arrival;
+        self.stats.delivered_pkts += 1;
+        self.stats.delivered_bytes += u64::from(wire_bytes);
+        Verdict::Deliver { arrival }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MTU: u32 = 1500;
+
+    fn mk(mbps: f64, delay_ms: u64, queue: u64) -> Link {
+        Link::new(LinkConfig::shaped(mbps, Duration::from_millis(delay_ms), queue), 1)
+    }
+
+    #[test]
+    fn single_packet_latency() {
+        // 1500B at 12 Mbps = 1 ms serialization + 10 ms prop.
+        let mut l = mk(12.0, 10, 1_000_000);
+        match l.enqueue(Time::ZERO, MTU) {
+            Verdict::Deliver { arrival } => assert_eq!(arrival, Time::from_millis(11)),
+            v => panic!("unexpected {v:?}"),
+        }
+    }
+
+    #[test]
+    fn back_to_back_packets_serialize() {
+        let mut l = mk(12.0, 10, 1_000_000);
+        let a1 = match l.enqueue(Time::ZERO, MTU) {
+            Verdict::Deliver { arrival } => arrival,
+            _ => unreachable!(),
+        };
+        let a2 = match l.enqueue(Time::ZERO, MTU) {
+            Verdict::Deliver { arrival } => arrival,
+            _ => unreachable!(),
+        };
+        assert_eq!(a2 - a1, Duration::from_millis(1));
+    }
+
+    #[test]
+    fn droptail_overflow() {
+        // Queue fits exactly two MTU packets.
+        let mut l = mk(1.0, 5, u64::from(MTU) * 2);
+        assert!(matches!(l.enqueue(Time::ZERO, MTU), Verdict::Deliver { .. }));
+        assert!(matches!(l.enqueue(Time::ZERO, MTU), Verdict::Deliver { .. }));
+        assert_eq!(l.enqueue(Time::ZERO, MTU), Verdict::DropQueue);
+        assert_eq!(l.stats().dropped_queue, 1);
+    }
+
+    #[test]
+    fn queue_drains_over_time() {
+        let mut l = mk(12.0, 5, u64::from(MTU) * 2);
+        l.enqueue(Time::ZERO, MTU);
+        l.enqueue(Time::ZERO, MTU);
+        assert_eq!(l.enqueue(Time::ZERO, MTU), Verdict::DropQueue);
+        // After 1 ms the first packet has fully serialized out.
+        assert!(matches!(l.enqueue(Time::from_millis(1), MTU), Verdict::Deliver { .. }));
+    }
+
+    #[test]
+    fn idle_link_resets_busy() {
+        let mut l = mk(12.0, 10, 1_000_000);
+        l.enqueue(Time::ZERO, MTU);
+        // Long after the first packet, latency is again 11 ms end to end.
+        let t = Time::from_secs(5);
+        match l.enqueue(t, MTU) {
+            Verdict::Deliver { arrival } => assert_eq!(arrival - t, Duration::from_millis(11)),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn rate_change_applies_to_new_packets() {
+        let mut l = mk(12.0, 0, 10_000_000);
+        l.set_rate_bps(1_200_000); // 10x slower
+        match l.enqueue(Time::ZERO, MTU) {
+            Verdict::Deliver { arrival } => assert_eq!(arrival, Time::from_millis(10)),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn random_loss_rate_roughly_respected() {
+        let mut cfg = LinkConfig::shaped(100.0, Duration::ZERO, u64::MAX);
+        cfg.loss_rate = 0.3;
+        let mut l = Link::new(cfg, 42);
+        let mut dropped = 0;
+        for i in 0..10_000 {
+            if matches!(l.enqueue(Time::from_millis(i), 100), Verdict::DropRandom) {
+                dropped += 1;
+            }
+        }
+        assert!((2_500..3_500).contains(&dropped), "dropped={dropped}");
+    }
+
+    #[test]
+    fn jitter_preserves_fifo() {
+        let mut cfg = LinkConfig::shaped(100.0, Duration::from_millis(10), u64::MAX);
+        cfg.jitter_max = Duration::from_millis(5);
+        let mut l = Link::new(cfg, 7);
+        let mut last = Time::ZERO;
+        for i in 0..1_000 {
+            if let Verdict::Deliver { arrival } = l.enqueue(Time::from_micros(i * 50), MTU) {
+                assert!(arrival >= last, "reordered at pkt {i}");
+                last = arrival;
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut cfg = LinkConfig::shaped(10.0, Duration::from_millis(10), u64::MAX);
+        cfg.jitter_max = Duration::from_millis(2);
+        cfg.loss_rate = 0.01;
+        let run = |seed| {
+            let mut l = Link::new(cfg.clone(), seed);
+            (0..500).map(|i| l.enqueue(Time::from_micros(i * 777), MTU)).collect::<Vec<_>>()
+        };
+        assert_eq!(run(9), run(9));
+        assert_ne!(run(9), run(10));
+    }
+}

@@ -1,0 +1,141 @@
+//! Bidirectional paths.
+//!
+//! A [`Path`] bundles the two directions of one end-to-end interface pair:
+//! the *forward* (data) direction, which the experiments shape to a target
+//! bandwidth exactly as the paper shapes server egress with `tc`, and the
+//! *reverse* (ACK) direction, which is unshaped delay.
+//!
+//! [`PathConfig::wifi`] and [`PathConfig::lte`] encode the calibration worked
+//! out in DESIGN.md: base delays and droptail queue sizes chosen so that the
+//! *measured* RTT under regulation reproduces the shape of the paper's
+//! Table 2 (bufferbloat makes RTT balloon as the shaped rate shrinks, and LTE
+//! sits above WiFi at equal rate).
+
+use std::time::Duration;
+
+use crate::link::{Link, LinkConfig};
+
+/// WiFi one-way propagation delay (base RTT ≈ 20 ms; paper Table 2 shows
+/// 40 ms at 8.6 Mbps once queueing is included).
+pub const WIFI_ONE_WAY: Duration = Duration::from_millis(10);
+/// LTE one-way propagation delay (base RTT ≈ 60 ms; Table 2 shows 105 ms at
+/// 8.6 Mbps).
+pub const LTE_ONE_WAY: Duration = Duration::from_millis(30);
+/// Shaped-link queue depth: the paper regulates with `tc` in front of a
+/// default 1000-packet txqueue (~1.5 MB) — effectively lossless for any
+/// window the endpoints reach. Inflight is then bounded by the receive
+/// window, penalization and RFC 2861 validation rather than drops, which is
+/// what lets the paper's Fig 11/12 windows ride at 60–350 segments and RTT
+/// inflate to the ≈1 s of Table 2 instead of sawtoothing on loss.
+pub const SHAPED_QUEUE_BYTES: u64 = 1_500_000;
+
+/// Configuration of one bidirectional path.
+#[derive(Debug, Clone)]
+pub struct PathConfig {
+    /// Human-readable label used in reports ("wifi", "lte", ...).
+    pub name: String,
+    /// Data direction (sender → receiver), shaped.
+    pub fwd: LinkConfig,
+    /// ACK direction (receiver → sender), delay only.
+    pub rev: LinkConfig,
+}
+
+impl PathConfig {
+    /// A WiFi-like path shaped to `mbps` in the data direction.
+    pub fn wifi(mbps: f64) -> Self {
+        let mut fwd = LinkConfig::shaped(mbps, WIFI_ONE_WAY, SHAPED_QUEUE_BYTES);
+        fwd.jitter_max = Duration::from_millis(2);
+        PathConfig { name: "wifi".into(), fwd, rev: LinkConfig::reverse(WIFI_ONE_WAY) }
+    }
+
+    /// An LTE-like path shaped to `mbps` in the data direction.
+    pub fn lte(mbps: f64) -> Self {
+        let mut fwd = LinkConfig::shaped(mbps, LTE_ONE_WAY, SHAPED_QUEUE_BYTES);
+        fwd.jitter_max = Duration::from_millis(4);
+        PathConfig { name: "lte".into(), fwd, rev: LinkConfig::reverse(LTE_ONE_WAY) }
+    }
+
+    /// A fully custom symmetric-delay path.
+    pub fn custom(name: &str, mbps: f64, one_way: Duration, queue_bytes: u64) -> Self {
+        PathConfig {
+            name: name.into(),
+            fwd: LinkConfig::shaped(mbps, one_way, queue_bytes),
+            rev: LinkConfig::reverse(one_way),
+        }
+    }
+
+    /// Disable jitter on both directions (for exactly-reproducible unit math).
+    pub fn without_jitter(mut self) -> Self {
+        self.fwd.jitter_max = Duration::ZERO;
+        self.rev.jitter_max = Duration::ZERO;
+        self
+    }
+
+    /// Set the forward-direction random loss rate.
+    pub fn with_loss(mut self, loss: f64) -> Self {
+        self.fwd.loss_rate = loss;
+        self
+    }
+
+    /// The minimum (unloaded) round-trip time of this path.
+    pub fn base_rtt(&self) -> Duration {
+        self.fwd.prop_delay + self.rev.prop_delay
+    }
+}
+
+/// A live bidirectional path instance.
+pub struct Path {
+    /// Label copied from the config.
+    pub name: String,
+    /// Data-direction link.
+    pub fwd: Link,
+    /// ACK-direction link.
+    pub rev: Link,
+}
+
+impl Path {
+    /// Instantiate from a config; `seed` feeds the two links' jitter/loss RNGs.
+    pub fn new(cfg: &PathConfig, seed: u64) -> Self {
+        Path {
+            name: cfg.name.clone(),
+            fwd: Link::new(cfg.fwd.clone(), seed.wrapping_mul(2).wrapping_add(1)),
+            rev: Link::new(cfg.rev.clone(), seed.wrapping_mul(2).wrapping_add(2)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_have_expected_base_rtt() {
+        assert_eq!(PathConfig::wifi(8.6).base_rtt(), Duration::from_millis(20));
+        assert_eq!(PathConfig::lte(8.6).base_rtt(), Duration::from_millis(60));
+    }
+
+    #[test]
+    fn queues_are_txqueuelen_deep() {
+        // A 1000-packet txqueue never drops at the windows our endpoints
+        // reach (receive window ≈ 362 segments), so inflight is bounded by
+        // flow control, not loss — the paper's regime.
+        let cfg = PathConfig::wifi(0.3);
+        assert!(cfg.fwd.queue_limit_bytes >= 1_000_000);
+        assert!(cfg.fwd.queue_limit_bytes / 1500 >= 724);
+    }
+
+    #[test]
+    fn without_jitter_clears_both_directions() {
+        let cfg = PathConfig::wifi(1.0).without_jitter();
+        assert_eq!(cfg.fwd.jitter_max, Duration::ZERO);
+        assert_eq!(cfg.rev.jitter_max, Duration::ZERO);
+    }
+
+    #[test]
+    fn custom_path_uses_given_values() {
+        let cfg = PathConfig::custom("p", 5.0, Duration::from_millis(15), 10_000);
+        assert_eq!(cfg.base_rtt(), Duration::from_millis(30));
+        assert_eq!(cfg.fwd.rate_bps, 5_000_000);
+        assert_eq!(cfg.fwd.queue_limit_bytes, 10_000);
+    }
+}

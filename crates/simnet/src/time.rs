@@ -1,0 +1,164 @@
+//! Simulated time.
+//!
+//! All simulator time is an absolute [`Time`] measured in integer nanoseconds
+//! from the start of the run. Durations are `std::time::Duration`, which keeps
+//! the API familiar while arithmetic stays exact: there is no floating point
+//! anywhere on the clock path, so runs are bit-for-bit reproducible.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+use std::time::Duration;
+
+/// An absolute instant on the simulation clock, in nanoseconds since t=0.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Time(u64);
+
+impl Time {
+    /// The start of the simulation.
+    pub const ZERO: Time = Time(0);
+    /// The largest representable instant; used as "never" for inactive timers.
+    pub const MAX: Time = Time(u64::MAX);
+
+    /// Construct from raw nanoseconds.
+    #[inline]
+    pub const fn from_nanos(nanos: u64) -> Self {
+        Time(nanos)
+    }
+
+    /// Construct from integer microseconds.
+    #[inline]
+    pub const fn from_micros(micros: u64) -> Self {
+        Time(micros * 1_000)
+    }
+
+    /// Construct from integer milliseconds.
+    #[inline]
+    pub const fn from_millis(millis: u64) -> Self {
+        Time(millis * 1_000_000)
+    }
+
+    /// Construct from integer seconds.
+    #[inline]
+    pub const fn from_secs(secs: u64) -> Self {
+        Time(secs * 1_000_000_000)
+    }
+
+    /// Raw nanoseconds since t=0.
+    #[inline]
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Whole microseconds since t=0 (truncated).
+    #[inline]
+    pub const fn as_micros(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Whole milliseconds since t=0 (truncated).
+    #[inline]
+    pub const fn as_millis(self) -> u64 {
+        self.0 / 1_000_000
+    }
+
+    /// Seconds since t=0 as a float, for reporting only.
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Elapsed duration since an earlier instant, saturating at zero.
+    #[inline]
+    pub fn since(self, earlier: Time) -> Duration {
+        Duration::from_nanos(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Saturating addition of a duration.
+    #[inline]
+    pub fn saturating_add(self, d: Duration) -> Time {
+        Time(self.0.saturating_add(dur_nanos(d)))
+    }
+}
+
+/// Convert a `Duration` to u64 nanoseconds, saturating (spans > ~584 years
+/// are clamped, which is far beyond any simulation horizon).
+#[inline]
+pub fn dur_nanos(d: Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+}
+
+impl Add<Duration> for Time {
+    type Output = Time;
+    #[inline]
+    fn add(self, d: Duration) -> Time {
+        Time(self.0 + dur_nanos(d))
+    }
+}
+
+impl AddAssign<Duration> for Time {
+    #[inline]
+    fn add_assign(&mut self, d: Duration) {
+        self.0 += dur_nanos(d);
+    }
+}
+
+impl Sub<Time> for Time {
+    type Output = Duration;
+    /// Panics in debug builds if `rhs` is later than `self`; use
+    /// [`Time::since`] when the ordering is not guaranteed.
+    #[inline]
+    fn sub(self, rhs: Time) -> Duration {
+        debug_assert!(self.0 >= rhs.0, "time went backwards: {self:?} - {rhs:?}");
+        Duration::from_nanos(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl fmt::Debug for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}s", self.as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_agree() {
+        assert_eq!(Time::from_secs(2), Time::from_nanos(2_000_000_000));
+        assert_eq!(Time::from_millis(5), Time::from_micros(5_000));
+        assert_eq!(Time::from_micros(7), Time::from_nanos(7_000));
+    }
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let t = Time::from_millis(100);
+        let d = Duration::from_micros(250);
+        assert_eq!((t + d) - t, d);
+    }
+
+    #[test]
+    fn since_saturates() {
+        let early = Time::from_secs(1);
+        let late = Time::from_secs(3);
+        assert_eq!(early.since(late), Duration::ZERO);
+        assert_eq!(late.since(early), Duration::from_secs(2));
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(Time::from_millis(1) < Time::from_millis(2));
+        assert!(Time::MAX > Time::from_secs(1_000_000));
+    }
+
+    #[test]
+    fn display_is_seconds() {
+        assert_eq!(format!("{}", Time::from_millis(1500)), "1.500s");
+    }
+}

@@ -1,0 +1,111 @@
+//! Property tests for the link model: FIFO delivery, queue conservation and
+//! latency bounds must hold for arbitrary traffic patterns.
+
+use std::time::Duration;
+
+use proptest::prelude::*;
+use simnet::{Link, LinkConfig, Time, Verdict};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn arrivals_are_fifo_for_any_traffic(
+        mbps in 1u32..100,
+        delay_ms in 0u64..200,
+        jitter_ms in 0u64..50,
+        offers in prop::collection::vec((0u64..10_000, 200u32..1500), 1..200),
+    ) {
+        let mut cfg = LinkConfig::shaped(
+            f64::from(mbps),
+            Duration::from_millis(delay_ms),
+            256 * 1024,
+        );
+        cfg.jitter_max = Duration::from_millis(jitter_ms);
+        let mut link = Link::new(cfg, 42);
+        let mut t = Time::ZERO;
+        let mut last_arrival = Time::ZERO;
+        for (gap_us, bytes) in offers {
+            t += Duration::from_micros(gap_us);
+            if let Verdict::Deliver { arrival } = link.enqueue(t, bytes) {
+                prop_assert!(arrival >= last_arrival, "FIFO violated");
+                prop_assert!(arrival >= t, "arrival before send");
+                last_arrival = arrival;
+            }
+        }
+    }
+
+    #[test]
+    fn accepted_plus_dropped_equals_offered(
+        mbps in 1u32..20,
+        queue_kb in 4u64..64,
+        offers in prop::collection::vec(500u32..1500, 1..300),
+    ) {
+        let mut link = Link::new(
+            LinkConfig::shaped(f64::from(mbps), Duration::from_millis(10), queue_kb * 1024),
+            7,
+        );
+        let n = offers.len() as u64;
+        let mut delivered = 0u64;
+        for bytes in offers {
+            // All at t=0: worst-case burst into the queue.
+            if matches!(link.enqueue(Time::ZERO, bytes), Verdict::Deliver { .. }) {
+                delivered += 1;
+            }
+        }
+        let stats = link.stats();
+        prop_assert_eq!(stats.delivered_pkts, delivered);
+        prop_assert_eq!(stats.delivered_pkts + stats.dropped_queue, n);
+    }
+
+    #[test]
+    fn latency_bounded_by_queue_plus_serialization(
+        mbps in 1u32..50,
+        queue_kb in 8u64..128,
+        bytes in 200u32..1500,
+    ) {
+        // A packet accepted at time t arrives no later than
+        // t + (queue + own size)/rate + propagation (no jitter configured).
+        let prop_delay = Duration::from_millis(20);
+        let mut link = Link::new(
+            LinkConfig::shaped(f64::from(mbps), prop_delay, queue_kb * 1024),
+            1,
+        );
+        // Pre-fill the queue.
+        for _ in 0..200 {
+            link.enqueue(Time::ZERO, 1500);
+        }
+        if let Verdict::Deliver { arrival } = link.enqueue(Time::ZERO, bytes) {
+            let max_backlog_bits = (queue_kb * 1024 + u64::from(bytes)) * 8;
+            let bound = Duration::from_secs_f64(
+                max_backlog_bits as f64 / (f64::from(mbps) * 1e6),
+            ) + prop_delay + Duration::from_millis(1);
+            prop_assert!(
+                arrival <= Time::ZERO + bound,
+                "arrival {arrival:?} beyond bound {bound:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn rate_changes_never_break_fifo(
+        rates in prop::collection::vec(1u32..50, 2..10),
+    ) {
+        let mut link = Link::new(
+            LinkConfig::shaped(f64::from(rates[0]), Duration::from_millis(10), 128 * 1024),
+            3,
+        );
+        let mut last = Time::ZERO;
+        let mut t = Time::ZERO;
+        for (i, &r) in rates.iter().enumerate() {
+            link.set_rate_bps(u64::from(r) * 1_000_000);
+            for _ in 0..20 {
+                t += Duration::from_micros(300 + i as u64);
+                if let Verdict::Deliver { arrival } = link.enqueue(t, 1200) {
+                    prop_assert!(arrival >= last);
+                    last = arrival;
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,495 @@
+//! Congestion-window state machine for one subflow.
+//!
+//! This models the sender-side variables a Linux TCP socket keeps: cwnd
+//! (fractionally, so coupled controllers can apply sub-segment increases),
+//! ssthresh, slow start vs congestion avoidance, RTO backoff, and — central
+//! to the paper — the RFC 5681 §4.1 *idle restart*: a connection idle for
+//! longer than one RTO resets cwnd to the initial window. The paper shows
+//! this reset is what cripples the fast subflow under the default scheduler
+//! (Table 3 counts these events; Fig 6 toggles the mechanism).
+//!
+//! The *increase policy* is split out: in slow start the window grows here,
+//! but congestion-avoidance increments are computed by the connection-level
+//! congestion controller (Reno, LIA, OLIA — see the `mptcp` crate) and
+//! applied through [`TcpCc::apply_ca_increase`], because coupled controllers
+//! need cross-subflow state.
+
+use std::time::Duration;
+
+use simnet::Time;
+
+use crate::rtt::RttEstimator;
+
+/// Static per-subflow TCP parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct TcpConfig {
+    /// Initial window in segments (RFC 6928; Linux default 10).
+    pub initial_cwnd: u32,
+    /// Window floor after loss events.
+    pub min_cwnd: u32,
+    /// Apply the RFC 5681 idle restart and RFC 2861 congestion-window
+    /// validation (`false` reproduces Fig 6's "w/o CWND reset" mode).
+    pub idle_reset: bool,
+    /// RTO floor.
+    pub min_rto: Duration,
+    /// RTO ceiling.
+    pub max_rto: Duration,
+}
+
+impl Default for TcpConfig {
+    fn default() -> Self {
+        TcpConfig {
+            initial_cwnd: 10,
+            min_cwnd: 2,
+            idle_reset: true,
+            min_rto: RttEstimator::DEFAULT_MIN_RTO,
+            max_rto: RttEstimator::DEFAULT_MAX_RTO,
+        }
+    }
+}
+
+/// Lifetime counters for one subflow's congestion controller.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CcStats {
+    /// Idle restarts back to the initial window (the paper's Table 3 metric,
+    /// which also counts timeout-driven resets; see [`CcStats::iw_resets`]).
+    pub idle_resets: u64,
+    /// RTO-driven window collapses.
+    pub rto_events: u64,
+    /// Fast-retransmit (triple-dupack) halvings.
+    pub fast_retransmits: u64,
+    /// RFC 2861 application-limited decays applied.
+    pub app_limited_decays: u64,
+}
+
+impl CcStats {
+    /// Events that return the window to the initial value / slow start —
+    /// idle restarts plus RTO collapses, matching Table 3's counting.
+    pub fn iw_resets(&self) -> u64 {
+        self.idle_resets + self.rto_events
+    }
+}
+
+/// The congestion state machine.
+#[derive(Debug, Clone)]
+pub struct TcpCc {
+    cfg: TcpConfig,
+    /// Congestion window in segments, kept fractionally.
+    cwnd: f64,
+    /// Slow-start threshold in segments.
+    ssthresh: f64,
+    /// RTT estimator for this subflow.
+    pub rtt: RttEstimator,
+    /// Exponential RTO backoff factor (power of two).
+    backoff: u32,
+    /// Last time a segment was sent (for idle detection).
+    last_send: Time,
+    /// Whether anything has been sent yet.
+    started: bool,
+    /// RFC 2861: the window actually used since the flow last filled cwnd.
+    cwnd_used: u32,
+    /// RFC 2861: when the flow was last cwnd-limited (or last decayed).
+    cwnd_stamp: Time,
+    stats: CcStats,
+}
+
+impl TcpCc {
+    /// Fresh state with the given parameters.
+    pub fn new(cfg: TcpConfig) -> Self {
+        TcpCc {
+            cfg,
+            cwnd: f64::from(cfg.initial_cwnd),
+            ssthresh: f64::INFINITY,
+            rtt: RttEstimator::with_bounds(cfg.min_rto, cfg.max_rto),
+            backoff: 0,
+            last_send: Time::ZERO,
+            started: false,
+            cwnd_used: 0,
+            cwnd_stamp: Time::ZERO,
+            stats: CcStats::default(),
+        }
+    }
+
+    /// Current window, whole segments (≥ 1).
+    pub fn cwnd_pkts(&self) -> u32 {
+        (self.cwnd.floor() as u32).max(1)
+    }
+
+    /// Current window, fractional (for controllers).
+    pub fn cwnd(&self) -> f64 {
+        self.cwnd
+    }
+
+    /// Current slow-start threshold.
+    pub fn ssthresh(&self) -> f64 {
+        self.ssthresh
+    }
+
+    /// True while cwnd is below ssthresh.
+    pub fn in_slow_start(&self) -> bool {
+        self.cwnd < self.ssthresh
+    }
+
+    /// Effective retransmission timeout including exponential backoff,
+    /// clamped to the configured ceiling.
+    pub fn rto(&self) -> Duration {
+        let base = self.rtt.rto();
+        base.saturating_mul(1u32 << self.backoff.min(6)).min(self.cfg.max_rto)
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> CcStats {
+        self.stats
+    }
+
+    /// Record a transmission at `now` (updates idle tracking).
+    pub fn note_send(&mut self, now: Time) {
+        if !self.started {
+            // First transmission starts the validation clock.
+            self.cwnd_stamp = now;
+        }
+        self.last_send = now;
+        self.started = true;
+    }
+
+    /// RFC 2861 congestion-window validation, Linux's
+    /// `tcp_cwnd_application_limited`: call at the end of every send
+    /// opportunity with the flow's current in-flight count. While the flow
+    /// is *application-limited* (window open but nothing to send), the
+    /// window decays halfway toward what was actually used, once per RTO,
+    /// and ssthresh banks 3/4 of the forgotten window.
+    ///
+    /// This — not just the after-idle restart — is what drains a fast
+    /// subflow's window while the default scheduler leaves it starved
+    /// behind a slow subflow's stragglers.
+    pub fn validate_app_limited(&mut self, now: Time, inflight: u32) -> bool {
+        if !self.cfg.idle_reset || !self.started {
+            return false;
+        }
+        if inflight >= self.cwnd_pkts() {
+            // Network-limited: usage is honest, restart the clock.
+            self.cwnd_used = 0;
+            self.cwnd_stamp = now;
+            return false;
+        }
+        self.cwnd_used = self.cwnd_used.max(inflight);
+        if now.since(self.cwnd_stamp) >= self.rto()
+            && self.cwnd > f64::from(self.cfg.initial_cwnd)
+        {
+            self.ssthresh = self.ssthresh.max(0.75 * self.cwnd);
+            let used = f64::from(self.cwnd_used.max(self.cfg.initial_cwnd));
+            self.cwnd = ((self.cwnd + used) / 2.0).max(f64::from(self.cfg.min_cwnd));
+            self.cwnd_stamp = now;
+            self.cwnd_used = 0;
+            self.stats.app_limited_decays += 1;
+            return true;
+        }
+        false
+    }
+
+    /// RFC 5681 §4.1: called before transmitting after a potential idle gap.
+    /// If the subflow has been quiet for more than one RTO, collapse the
+    /// window back to the initial value and return `true`.
+    pub fn maybe_idle_reset(&mut self, now: Time) -> bool {
+        if !self.cfg.idle_reset || !self.started {
+            return false;
+        }
+        if now.since(self.last_send) > self.rto() && self.cwnd > f64::from(self.cfg.initial_cwnd)
+        {
+            self.cwnd = f64::from(self.cfg.initial_cwnd);
+            // ssthresh is left in place: restart ramps via slow start up to
+            // the previously learned threshold (RFC 2861 behaviour).
+            self.stats.idle_resets += 1;
+            return true;
+        }
+        false
+    }
+
+    /// HyStart-style delay-increase slow-start exit (Linux has shipped this
+    /// since 2.6.29): once the smoothed RTT has risen clearly above the
+    /// propagation floor, the pipe is full and further exponential growth
+    /// only builds queue — exit into congestion avoidance at the current
+    /// window. Returns true if slow start was exited.
+    ///
+    /// Deliberately conservative: the comparison uses the lifetime sRTT, so
+    /// a restart that begins while the estimator still remembers bufferbloat
+    /// exits early and climbs via congestion avoidance. Real HyStart samples
+    /// per round and would ramp slightly faster; the conservative form is
+    /// part of this model's calibration (see DESIGN.md §3).
+    pub fn maybe_hystart_exit(&mut self) -> bool {
+        if !self.in_slow_start() {
+            return false;
+        }
+        let min = self.rtt.min_rtt();
+        if min == Duration::MAX {
+            return false;
+        }
+        let threshold = min + min.mul_f64(0.25).max(Duration::from_millis(8));
+        if self.rtt.srtt() > threshold && self.cwnd > f64::from(self.cfg.initial_cwnd) {
+            self.ssthresh = self.cwnd;
+            return true;
+        }
+        false
+    }
+
+    /// Clear the exponential RTO backoff (a cumulative ACK arrived).
+    pub fn clear_rto_backoff(&mut self) {
+        self.backoff = 0;
+    }
+
+    /// An ACK advanced the window during slow start: exponential growth.
+    pub fn on_ack_slow_start(&mut self, newly_acked_pkts: u32) {
+        debug_assert!(self.in_slow_start());
+        self.cwnd += f64::from(newly_acked_pkts);
+        self.backoff = 0;
+    }
+
+    /// Congestion-avoidance increase computed by the (possibly coupled)
+    /// controller; `inc` is in segments and is typically ≤ 1/cwnd per ACK.
+    pub fn apply_ca_increase(&mut self, inc: f64) {
+        debug_assert!(inc >= 0.0, "CA increase must be non-negative");
+        self.cwnd += inc;
+        self.backoff = 0;
+    }
+
+    /// Triple-dupack fast retransmit: multiplicative decrease.
+    pub fn on_fast_retransmit(&mut self) {
+        self.ssthresh = (self.cwnd / 2.0).max(f64::from(self.cfg.min_cwnd));
+        self.cwnd = self.ssthresh;
+        self.stats.fast_retransmits += 1;
+    }
+
+    /// Retransmission timeout: collapse to one segment, halve ssthresh,
+    /// back off the timer exponentially.
+    pub fn on_rto(&mut self) {
+        self.ssthresh = (self.cwnd / 2.0).max(f64::from(self.cfg.min_cwnd));
+        self.cwnd = 1.0;
+        self.backoff += 1;
+        self.stats.rto_events += 1;
+    }
+
+    /// Externally force the window down (the opportunistic-retransmission
+    /// *penalization* of Raiciu et al. halves the slow subflow's window).
+    pub fn penalize(&mut self) {
+        self.ssthresh = (self.cwnd / 2.0).max(f64::from(self.cfg.min_cwnd));
+        self.cwnd = self.ssthresh;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cc() -> TcpCc {
+        TcpCc::new(TcpConfig::default())
+    }
+
+    #[test]
+    fn starts_at_initial_window_in_slow_start() {
+        let c = cc();
+        assert_eq!(c.cwnd_pkts(), 10);
+        assert!(c.in_slow_start());
+    }
+
+    #[test]
+    fn slow_start_doubles_per_window() {
+        let mut c = cc();
+        // Ack a full window: 10 acks of 1 packet → cwnd 20.
+        for _ in 0..10 {
+            c.on_ack_slow_start(1);
+        }
+        assert_eq!(c.cwnd_pkts(), 20);
+    }
+
+    #[test]
+    fn fast_retransmit_halves() {
+        let mut c = cc();
+        for _ in 0..30 {
+            c.on_ack_slow_start(1);
+        }
+        let before = c.cwnd_pkts();
+        c.on_fast_retransmit();
+        assert_eq!(c.cwnd_pkts(), before / 2);
+        assert!(!c.in_slow_start());
+        assert_eq!(c.stats().fast_retransmits, 1);
+    }
+
+    #[test]
+    fn rto_collapses_to_one() {
+        let mut c = cc();
+        for _ in 0..30 {
+            c.on_ack_slow_start(1);
+        }
+        c.on_rto();
+        assert_eq!(c.cwnd_pkts(), 1);
+        assert!(c.in_slow_start());
+        assert_eq!(c.stats().rto_events, 1);
+        assert_eq!(c.stats().iw_resets(), 1);
+    }
+
+    #[test]
+    fn rto_backoff_doubles_and_acks_clear_it() {
+        let mut c = cc();
+        c.rtt.on_sample(Duration::from_millis(100));
+        let base = c.rto();
+        c.on_rto();
+        assert_eq!(c.rto(), base * 2);
+        c.on_rto();
+        assert_eq!(c.rto(), base * 4);
+        c.apply_ca_increase(0.1);
+        assert_eq!(c.rto(), base);
+    }
+
+    #[test]
+    fn idle_reset_fires_after_rto_of_silence() {
+        let mut c = cc();
+        c.rtt.on_sample(Duration::from_millis(100));
+        for _ in 0..50 {
+            c.on_ack_slow_start(1);
+        }
+        assert_eq!(c.cwnd_pkts(), 60);
+        c.note_send(Time::from_secs(1));
+        // 250 ms later: not idle (RTO is 300 ms with rttvar=50).
+        assert!(!c.maybe_idle_reset(Time::from_millis(1_250)));
+        assert_eq!(c.cwnd_pkts(), 60);
+        // 2 s later: idle → reset to IW.
+        assert!(c.maybe_idle_reset(Time::from_secs(3)));
+        assert_eq!(c.cwnd_pkts(), 10);
+        assert!(c.in_slow_start());
+        assert_eq!(c.stats().idle_resets, 1);
+        assert_eq!(c.stats().iw_resets(), 1);
+    }
+
+    #[test]
+    fn idle_reset_disabled_by_config() {
+        let mut c = TcpCc::new(TcpConfig { idle_reset: false, ..TcpConfig::default() });
+        c.rtt.on_sample(Duration::from_millis(50));
+        for _ in 0..50 {
+            c.on_ack_slow_start(1);
+        }
+        c.note_send(Time::from_secs(1));
+        assert!(!c.maybe_idle_reset(Time::from_secs(100)));
+        assert_eq!(c.cwnd_pkts(), 60);
+    }
+
+    #[test]
+    fn idle_reset_never_inflates_small_window() {
+        // A window already at/below IW must not be touched (nor counted).
+        let mut c = cc();
+        c.rtt.on_sample(Duration::from_millis(50));
+        c.note_send(Time::from_secs(1));
+        assert!(!c.maybe_idle_reset(Time::from_secs(50)));
+        assert_eq!(c.stats().idle_resets, 0);
+    }
+
+    #[test]
+    fn idle_reset_noop_before_first_send() {
+        let mut c = cc();
+        assert!(!c.maybe_idle_reset(Time::from_secs(100)));
+    }
+
+    #[test]
+    fn penalize_halves_like_loss_but_counts_nothing() {
+        let mut c = cc();
+        for _ in 0..30 {
+            c.on_ack_slow_start(1);
+        }
+        let before = c.cwnd_pkts();
+        c.penalize();
+        assert_eq!(c.cwnd_pkts(), before / 2);
+        assert_eq!(c.stats().fast_retransmits, 0);
+    }
+
+    #[test]
+    fn app_limited_decay_halves_toward_usage() {
+        let mut c = cc();
+        c.rtt.on_sample(Duration::from_millis(100));
+        for _ in 0..100 {
+            c.on_ack_slow_start(1);
+        }
+        assert_eq!(c.cwnd_pkts(), 110);
+        c.note_send(Time::from_secs(1));
+        // Flow becomes app-limited with only ~12 segments in use.
+        assert!(!c.validate_app_limited(Time::from_secs(1), 12));
+        // One RTO later the window decays halfway toward max(used, IW).
+        assert!(c.validate_app_limited(Time::from_secs(3), 12));
+        assert_eq!(c.cwnd_pkts(), (110 + 12) / 2);
+        // ssthresh banked 3/4 of the forgotten window.
+        assert!(c.ssthresh() >= 0.75 * 110.0);
+        assert_eq!(c.stats().app_limited_decays, 1);
+        // Repeated idling keeps decaying toward usage.
+        assert!(c.validate_app_limited(Time::from_secs(6), 12));
+        assert_eq!(c.cwnd_pkts(), (61 + 12) / 2);
+    }
+
+    #[test]
+    fn network_limited_flow_never_decays() {
+        let mut c = cc();
+        c.rtt.on_sample(Duration::from_millis(100));
+        for _ in 0..50 {
+            c.on_ack_slow_start(1);
+        }
+        c.note_send(Time::from_secs(1));
+        let cwnd = c.cwnd_pkts();
+        for t in 1..20 {
+            assert!(!c.validate_app_limited(Time::from_secs(t), cwnd));
+        }
+        assert_eq!(c.cwnd_pkts(), cwnd);
+        assert_eq!(c.stats().app_limited_decays, 0);
+    }
+
+    #[test]
+    fn validation_respects_disable_flag() {
+        let mut c = TcpCc::new(TcpConfig { idle_reset: false, ..TcpConfig::default() });
+        c.rtt.on_sample(Duration::from_millis(100));
+        for _ in 0..50 {
+            c.on_ack_slow_start(1);
+        }
+        c.note_send(Time::from_secs(1));
+        assert!(!c.validate_app_limited(Time::from_secs(30), 2));
+        assert_eq!(c.cwnd_pkts(), 60);
+    }
+
+    #[test]
+    fn hystart_exits_on_delay_increase() {
+        let mut c = cc();
+        // Propagation floor 60 ms...
+        c.rtt.on_sample(Duration::from_millis(60));
+        for _ in 0..40 {
+            c.on_ack_slow_start(1);
+        }
+        assert!(c.in_slow_start());
+        // ...sRTT still near the floor: no exit.
+        assert!(!c.maybe_hystart_exit());
+        // Queue builds: samples well above floor + 25%.
+        for _ in 0..20 {
+            c.rtt.on_sample(Duration::from_millis(140));
+        }
+        assert!(c.maybe_hystart_exit());
+        assert!(!c.in_slow_start());
+        assert_eq!(c.ssthresh(), c.cwnd());
+        // Idempotent once exited.
+        assert!(!c.maybe_hystart_exit());
+    }
+
+    #[test]
+    fn hystart_never_fires_at_initial_window() {
+        let mut c = cc();
+        c.rtt.on_sample(Duration::from_millis(60));
+        for _ in 0..20 {
+            c.rtt.on_sample(Duration::from_millis(200));
+        }
+        // cwnd still at IW: exiting would pin ssthresh at 10 forever.
+        assert!(!c.maybe_hystart_exit());
+    }
+
+    #[test]
+    fn cwnd_floor_is_one_segment() {
+        let mut c = cc();
+        c.on_rto();
+        c.on_rto();
+        assert_eq!(c.cwnd_pkts(), 1);
+        c.on_fast_retransmit();
+        assert!(c.cwnd_pkts() >= 1);
+    }
+}

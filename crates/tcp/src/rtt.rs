@@ -1,0 +1,163 @@
+//! RTT estimation per RFC 6298, with the Linux 200 ms RTO floor.
+//!
+//! Besides sRTT/RTTVAR this estimator is what feeds ECF's δ margin: the
+//! paper's δ = max(σf, σs) uses the per-path RTT deviation, for which RTTVAR
+//! (a smoothed mean absolute deviation) is the standard in-kernel proxy.
+
+use std::time::Duration;
+
+/// Smoothed RTT / deviation / RTO state for one subflow.
+#[derive(Debug, Clone)]
+pub struct RttEstimator {
+    srtt: Duration,
+    rttvar: Duration,
+    min_rtt: Duration,
+    min_rto: Duration,
+    max_rto: Duration,
+    samples: u64,
+}
+
+impl RttEstimator {
+    /// Linux `TCP_RTO_MIN`.
+    pub const DEFAULT_MIN_RTO: Duration = Duration::from_millis(200);
+    /// A practical RTO ceiling (RFC 6298 allows ≥ 60 s; we keep 60 s).
+    pub const DEFAULT_MAX_RTO: Duration = Duration::from_secs(60);
+    /// RTO used before the first RTT sample (RFC 6298 §2.1 says 1 s).
+    pub const INITIAL_RTO: Duration = Duration::from_secs(1);
+
+    /// A fresh estimator with Linux-like clamping.
+    pub fn new() -> Self {
+        Self::with_bounds(Self::DEFAULT_MIN_RTO, Self::DEFAULT_MAX_RTO)
+    }
+
+    /// Estimator with explicit RTO bounds.
+    pub fn with_bounds(min_rto: Duration, max_rto: Duration) -> Self {
+        RttEstimator {
+            srtt: Duration::ZERO,
+            rttvar: Duration::ZERO,
+            min_rtt: Duration::MAX,
+            min_rto,
+            max_rto,
+            samples: 0,
+        }
+    }
+
+    /// Smallest RTT ever observed — the propagation-delay estimate HyStart
+    /// compares against (`Duration::MAX` before the first sample).
+    pub fn min_rtt(&self) -> Duration {
+        self.min_rtt
+    }
+
+    /// Feed one RTT measurement (RFC 6298 §2.2–2.3).
+    pub fn on_sample(&mut self, rtt: Duration) {
+        self.min_rtt = self.min_rtt.min(rtt);
+        if self.samples == 0 {
+            self.srtt = rtt;
+            self.rttvar = rtt / 2;
+        } else {
+            let err = self.srtt.abs_diff(rtt);
+            // RTTVAR ← 3/4·RTTVAR + 1/4·|SRTT − R|
+            self.rttvar = (self.rttvar * 3 + err) / 4;
+            // SRTT ← 7/8·SRTT + 1/8·R
+            self.srtt = (self.srtt * 7 + rtt) / 8;
+        }
+        self.samples += 1;
+    }
+
+    /// Smoothed RTT (zero until the first sample).
+    pub fn srtt(&self) -> Duration {
+        self.srtt
+    }
+
+    /// RTT deviation estimate — σ for ECF's δ margin.
+    pub fn rttvar(&self) -> Duration {
+        self.rttvar
+    }
+
+    /// True once at least one sample has arrived.
+    pub fn has_sample(&self) -> bool {
+        self.samples > 0
+    }
+
+    /// Number of samples fed so far.
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// Current RTO: SRTT + 4·RTTVAR, clamped; [`Self::INITIAL_RTO`] before
+    /// any sample.
+    pub fn rto(&self) -> Duration {
+        if self.samples == 0 {
+            return Self::INITIAL_RTO;
+        }
+        (self.srtt + self.rttvar * 4).clamp(self.min_rto, self.max_rto)
+    }
+}
+
+impl Default for RttEstimator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_rto_is_one_second() {
+        assert_eq!(RttEstimator::new().rto(), Duration::from_secs(1));
+    }
+
+    #[test]
+    fn first_sample_initializes() {
+        let mut e = RttEstimator::new();
+        e.on_sample(Duration::from_millis(100));
+        assert_eq!(e.srtt(), Duration::from_millis(100));
+        assert_eq!(e.rttvar(), Duration::from_millis(50));
+        // 100 + 4·50 = 300 ms.
+        assert_eq!(e.rto(), Duration::from_millis(300));
+    }
+
+    #[test]
+    fn steady_samples_converge() {
+        let mut e = RttEstimator::new();
+        for _ in 0..200 {
+            e.on_sample(Duration::from_millis(80));
+        }
+        assert_eq!(e.srtt(), Duration::from_millis(80));
+        assert!(e.rttvar() < Duration::from_millis(1));
+        // RTO floors at 200 ms even for small variance.
+        assert_eq!(e.rto(), Duration::from_millis(200));
+    }
+
+    #[test]
+    fn variance_tracks_jitter() {
+        let mut e = RttEstimator::new();
+        for i in 0..400 {
+            let ms = if i % 2 == 0 { 50 } else { 150 };
+            e.on_sample(Duration::from_millis(ms));
+        }
+        // Mean ~100 ms, deviation on the order of 50 ms.
+        assert!((80..=120).contains(&(e.srtt().as_millis() as u64)), "{:?}", e.srtt());
+        assert!((30..=80).contains(&(e.rttvar().as_millis() as u64)), "{:?}", e.rttvar());
+    }
+
+    #[test]
+    fn rto_clamped_to_max() {
+        let mut e = RttEstimator::with_bounds(Duration::from_millis(200), Duration::from_secs(2));
+        e.on_sample(Duration::from_secs(5));
+        assert_eq!(e.rto(), Duration::from_secs(2));
+    }
+
+    #[test]
+    fn smoothing_weights_follow_rfc() {
+        let mut e = RttEstimator::new();
+        e.on_sample(Duration::from_millis(100));
+        e.on_sample(Duration::from_millis(200));
+        // SRTT = 7/8·100 + 1/8·200 = 112.5 ms
+        assert_eq!(e.srtt(), Duration::from_micros(112_500));
+        // RTTVAR = 3/4·50 + 1/4·100 = 62.5 ms
+        assert_eq!(e.rttvar(), Duration::from_micros(62_500));
+    }
+}

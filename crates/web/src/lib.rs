@@ -1,0 +1,17 @@
+//! # webload — HTTP workload models
+//!
+//! The paper's two non-video workloads:
+//!
+//! * [`WgetApp`] / [`SequentialApp`] — single-object and repeated downloads
+//!   over a persistent connection (§5.4),
+//! * [`PageModel`] + [`BrowserApp`] — a CNN-like 107-object page over six
+//!   parallel persistent MPTCP connections (§5.5).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod download;
+mod page;
+
+pub use download::{SequentialApp, WgetApp};
+pub use page::{BrowserApp, ObjectRecord, PageModel};

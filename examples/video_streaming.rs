@@ -1,0 +1,47 @@
+//! Adaptive video streaming over MPTCP: plays one DASH session per
+//! scheduler on a heterogeneous WiFi+LTE pair and compares what the paper's
+//! Fig 9 measures — average bit rate against the ideal.
+//!
+//! ```text
+//! cargo run --release --example video_streaming [wifi_mbps] [lte_mbps]
+//! ```
+
+use mptcp_ecf::prelude::*;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let wifi: f64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(0.3);
+    let lte: f64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(8.6);
+    let ideal = dash::ideal_avg_bitrate_mbps(wifi + lte);
+
+    println!("DASH streaming, {wifi} Mbps WiFi + {lte} Mbps LTE (ideal {ideal:.2} Mbps)\n");
+    println!(
+        "{:>10} {:>12} {:>12} {:>8} {:>10} {:>10}",
+        "scheduler", "bitrate", "ratio", "stalls", "LTE resets", "reinjects"
+    );
+
+    for kind in SchedulerKind::paper_set() {
+        let cfg = TestbedConfig::wifi_lte(wifi, lte, kind, 7);
+        let player = PlayerConfig { video_secs: 180.0, ..PlayerConfig::default() };
+        let mut tb = Testbed::new(cfg, DashApp::new(player, 0));
+        tb.run_until(Time::from_secs(5_000));
+
+        let p = &tb.app().player;
+        let world = tb.world();
+        println!(
+            "{:>10} {:>9.2} Mbps {:>11.2} {:>8} {:>10} {:>10}",
+            kind.label(),
+            p.avg_bitrate_mbps(),
+            p.avg_bitrate_mbps() / ideal,
+            p.rebuffer_events,
+            world.sender(0).subflows[1].cc.stats().iw_resets(),
+            world.sender(0).stats().reinjections_queued,
+        );
+    }
+
+    println!(
+        "\nThe paper's shape: ECF nearest the ideal, BLEST ≈ default, DAPS worst\n\
+         under heterogeneity; all four converge when the paths are symmetric\n\
+         (try `-- 4.2 4.2`)."
+    );
+}

@@ -1,0 +1,55 @@
+//! Smoke tests over the experiment harness: every registry entry resolves,
+//! and the cheap reports generate with their expected structure.
+
+use experiments::{find, registry, Effort};
+
+#[test]
+fn registry_is_complete_and_unique() {
+    let reg = registry();
+    assert!(reg.len() >= 25, "expected ≥25 experiments, got {}", reg.len());
+    let mut ids: Vec<&str> = reg.iter().map(|e| e.id).collect();
+    ids.sort_unstable();
+    let before = ids.len();
+    ids.dedup();
+    assert_eq!(before, ids.len(), "duplicate experiment ids");
+}
+
+#[test]
+fn tab1_report_matches_the_ladder() {
+    let report = (find("tab1").expect("registered").run)(Effort::Quick);
+    for needle in ["144p", "1080p", "0.26", "8.47"] {
+        assert!(report.contains(needle), "tab1 missing {needle}:\n{report}");
+    }
+}
+
+#[test]
+fn fig1_report_shows_progress_series() {
+    let report = (find("fig1").expect("registered").run)(Effort::Quick);
+    assert!(report.contains("cumulative_MB"));
+    assert!(report.lines().count() > 8, "fig1 too short:\n{report}");
+}
+
+#[test]
+fn fig5_report_has_all_pairs() {
+    let report = (find("fig5").expect("registered").run)(Effort::Quick);
+    for pair in ["0.3-8.6", "0.7-8.6", "1.1-8.6", "4.2-8.6"] {
+        assert!(report.contains(pair), "fig5 missing {pair}");
+    }
+}
+
+#[test]
+fn tab3_reports_all_schedulers() {
+    let report = (find("tab3").expect("registered").run)(Effort::Quick);
+    for sched in ["default", "ecf", "daps", "blest"] {
+        assert!(report.contains(sched), "tab3 missing {sched}");
+    }
+}
+
+#[test]
+fn ablation_components_orders_variants() {
+    let report = (find("ablation_components").expect("registered").run)(Effort::Quick);
+    assert!(report.contains("full ECF"));
+    assert!(report.contains("no delta margin"));
+    assert!(report.contains("no second inequality"));
+    assert!(report.contains("default (reference)"));
+}
