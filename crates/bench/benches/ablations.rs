@@ -1,7 +1,7 @@
 //! Ablation benches: ECF variants (β sweep, δ margin, second inequality)
 //! on the headline heterogeneous pair.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use testkit::bench::{criterion_group, criterion_main, Criterion};
 use ecf_bench::{bench_streaming, HETERO};
 use ecf_core::{EcfConfig, SchedulerKind};
 use experiments::{run_streaming, StreamingConfig};

@@ -1,7 +1,7 @@
 //! Download benches: the data behind Figs 18 and 19 (completion times and
 //! the ECF/default ratio) at representative grid points.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use testkit::bench::{criterion_group, criterion_main, Criterion};
 use ecf_core::SchedulerKind;
 use experiments::run_wget;
 

@@ -3,7 +3,7 @@
 
 use std::time::Duration;
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use testkit::bench::{criterion_group, criterion_main, Criterion};
 use ecf_core::{PathId, PathSnapshot, SchedInput, SchedulerKind};
 
 fn snapshots() -> Vec<PathSnapshot> {

@@ -1,7 +1,7 @@
 //! Streaming benches: regenerate the data behind Figs 1-3, 5-7, 9-17 and
 //! Tables 2-3 at benchmark scale (30 s videos, one seed).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use testkit::bench::{criterion_group, criterion_main, Criterion};
 use ecf_bench::{bench_streaming, HETERO, SYMMETRIC};
 use ecf_core::SchedulerKind;
 use experiments::{run_streaming, StreamingConfig, VARIABLE_BW_SET};

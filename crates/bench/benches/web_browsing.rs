@@ -1,7 +1,7 @@
 //! Web-browsing benches: Figs 20/21 — full 107-object page loads over six
 //! parallel MPTCP connections at each of the paper's three configurations.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use testkit::bench::{criterion_group, criterion_main, Criterion};
 use ecf_core::SchedulerKind;
 use experiments::run_browse;
 

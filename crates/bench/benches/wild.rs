@@ -1,7 +1,7 @@
 //! In-the-wild benches: one Fig 22 streaming run and one Fig 23 page load
 //! on the synthesized wild paths.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use testkit::bench::{criterion_group, criterion_main, Criterion};
 use experiments::{wild, Effort};
 
 fn bench_wild(c: &mut Criterion) {

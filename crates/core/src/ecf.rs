@@ -247,6 +247,33 @@ mod tests {
     }
 
     #[test]
+    fn no_starvation_backlog_growth_exits_waiting() {
+        // From the waiting state, growing the backlog k past the
+        // first-inequality threshold must flip back to Send on the slow path:
+        // waiting may never starve the connection once there is enough data
+        // to fill both pipes. With RTTs 10/100 ms, cwnd 10, and the β = 0.25
+        // bonus active, the threshold is (1 + k/10)·10 ≥ 1.25·100 → k ≥ 115.
+        let paths = [path(0, 10, 10, 10), path(1, 100, 10, 0)];
+        let mut ecf = Ecf::new();
+        assert_eq!(ecf.select(&input(&paths, 1)), Decision::Wait);
+        assert!(ecf.is_waiting());
+
+        // Below the hysteresis threshold the decision must stay Wait...
+        assert_eq!(ecf.select(&input(&paths, 114)), Decision::Wait);
+        assert!(ecf.is_waiting());
+        // ...and the first k at/above it exits waiting onto the slow path.
+        assert_eq!(ecf.select(&input(&paths, 115)), Decision::Send(PathId(1)));
+        assert!(!ecf.is_waiting());
+
+        // The exit is monotone: every larger backlog also sends.
+        for k in [116, 200, 1_000, 100_000] {
+            let mut e = Ecf::new();
+            e.select(&input(&paths, 1)); // enter waiting
+            assert_eq!(e.select(&input(&paths, k)), Decision::Send(PathId(1)), "k={k}");
+        }
+    }
+
+    #[test]
     fn delta_margin_helper() {
         assert_eq!(
             delta_margin(Duration::from_millis(3), Duration::from_millis(7)),

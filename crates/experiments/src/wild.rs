@@ -12,8 +12,7 @@ use dash::{DashApp, PlayerConfig};
 use ecf_core::SchedulerKind;
 use metrics::{render_table, Cdf};
 use mptcp::{ConnConfig, ConnSpec, RecorderConfig, Testbed, TestbedConfig};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use testkit::Rng;
 use simnet::{PathConfig, Time};
 use webload::{BrowserApp, PageModel};
 
@@ -31,7 +30,7 @@ fn wild_testbed(
     seed: u64,
     horizon: Time,
 ) -> TestbedConfig {
-    let mut rng = SmallRng::seed_from_u64(seed ^ (run as u64) << 8);
+    let mut rng = Rng::seed_from_u64(seed ^ (run as u64) << 8);
     // Town WiFi: weak and variable; LTE: solid — the paper's public-AP
     // vs AT&T contrast.
     let wifi_mbps = rng.gen_range(1.0..5.0);

@@ -1,23 +1,20 @@
 //! Property tests for the MPTCP receiver and coupled congestion control:
 //! reordering invariants must hold for *any* arrival interleaving.
+//!
+//! Run under `testkit::prop`; replay a failure with `TESTKIT_SEED=<n>`.
 
 use std::time::Duration;
 
 use mptcp::{ca_increase, CcKind, CcView, Receiver, Segment};
-use proptest::prelude::*;
 use simnet::Time;
+use testkit::prop::{any_u64, bools, check, vec_of};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    /// Split a dsn stream across two subflows with an arbitrary interleaving
-    /// (FIFO within each subflow, as the links guarantee): the receiver must
-    /// deliver every dsn exactly once, in order, and end with empty buffers.
-    #[test]
-    fn any_interleaving_delivers_in_order(
-        assignment in prop::collection::vec(any::<bool>(), 1..120),
-        order_seed in any::<u64>(),
-    ) {
+/// Split a dsn stream across two subflows with an arbitrary interleaving
+/// (FIFO within each subflow, as the links guarantee): the receiver must
+/// deliver every dsn exactly once, in order, and end with empty buffers.
+#[test]
+fn any_interleaving_delivers_in_order() {
+    check(256, (vec_of(bools(), 1..120), any_u64()), |(assignment, order_seed)| {
         let n = assignment.len() as u64;
         // Build per-subflow FIFO queues of (dsn, ssn).
         let mut queues: [Vec<Segment>; 2] = [Vec::new(), Vec::new()];
@@ -50,19 +47,21 @@ proptest! {
             }
         }
         // Exactly once, in order, all of them.
-        prop_assert_eq!(delivered.len() as u64, n);
+        assert_eq!(delivered.len() as u64, n);
         for (i, &dsn) in delivered.iter().enumerate() {
-            prop_assert_eq!(dsn, i as u64);
+            assert_eq!(dsn, i as u64);
         }
-        prop_assert_eq!(rx.meta_next(), n);
-        prop_assert_eq!(rx.rwnd_free(), 10_000);
-        prop_assert_eq!(rx.stats().duplicate_segs, 0);
-    }
+        assert_eq!(rx.meta_next(), n);
+        assert_eq!(rx.rwnd_free(), 10_000);
+        assert_eq!(rx.stats().duplicate_segs, 0);
+    });
+}
 
-    /// Re-delivering any prefix of segments (duplicates) never double
-    /// delivers and never regresses the cumulative state.
-    #[test]
-    fn duplicates_are_idempotent(n in 1u64..60, dup_every in 1u64..5) {
+/// Re-delivering any prefix of segments (duplicates) never double
+/// delivers and never regresses the cumulative state.
+#[test]
+fn duplicates_are_idempotent() {
+    check(256, (1u64..60, 1u64..5), |(n, dup_every)| {
         let mut rx = Receiver::new(1, 10_000);
         let mut total = 0u64;
         for i in 0..n {
@@ -74,43 +73,51 @@ proptest! {
                     0,
                     Segment { dsn: i, ssn: i },
                 );
-                prop_assert!(dup.duplicate);
+                assert!(dup.duplicate);
                 total += dup.delivered.len() as u64;
             }
         }
-        prop_assert_eq!(total, n);
-        prop_assert_eq!(rx.meta_next(), n);
-    }
+        assert_eq!(total, n);
+        assert_eq!(rx.meta_next(), n);
+    });
+}
 
-    /// Coupled increases stay within (0, Reno] for sane inputs, for every
-    /// controller — the RFC 6356 "do no harm" bound.
-    #[test]
-    fn ca_increase_bounded_by_reno(
-        cwnds in prop::collection::vec(1.0f64..500.0, 1..4),
-        rtts in prop::collection::vec(0.005f64..2.0, 1..4),
-        idx_seed in any::<u8>(),
-    ) {
-        let n = cwnds.len().min(rtts.len());
-        let views: Vec<CcView> = (0..n)
-            .map(|i| CcView { cwnd: cwnds[i], srtt: rtts[i] })
-            .collect();
-        let idx = usize::from(idx_seed) % n;
-        let reno = 1.0 / views[idx].cwnd;
-        for kind in [CcKind::Reno, CcKind::Lia] {
-            let inc = ca_increase(kind, &views, idx);
-            prop_assert!(inc > 0.0, "{kind:?} non-positive: {inc}");
-            prop_assert!(inc <= reno + 1e-9, "{kind:?} beats Reno: {inc} > {reno}");
-        }
-        // OLIA's α can exceed Reno transiently but must stay finite and
-        // non-negative overall in our formulation.
-        let olia = ca_increase(CcKind::Olia, &views, idx);
-        prop_assert!(olia.is_finite());
-    }
+/// Coupled increases stay within (0, Reno] for sane inputs, for every
+/// controller — the RFC 6356 "do no harm" bound.
+#[test]
+fn ca_increase_bounded_by_reno() {
+    check(
+        256,
+        (
+            vec_of(1.0f64..500.0, 1..4),
+            vec_of(0.005f64..2.0, 1..4),
+            0u8..=255,
+        ),
+        |(cwnds, rtts, idx_seed)| {
+            let n = cwnds.len().min(rtts.len());
+            let views: Vec<CcView> = (0..n)
+                .map(|i| CcView { cwnd: cwnds[i], srtt: rtts[i] })
+                .collect();
+            let idx = usize::from(idx_seed) % n;
+            let reno = 1.0 / views[idx].cwnd;
+            for kind in [CcKind::Reno, CcKind::Lia] {
+                let inc = ca_increase(kind, &views, idx);
+                assert!(inc > 0.0, "{kind:?} non-positive: {inc}");
+                assert!(inc <= reno + 1e-9, "{kind:?} beats Reno: {inc} > {reno}");
+            }
+            // OLIA's α can exceed Reno transiently but must stay finite and
+            // non-negative overall in our formulation.
+            let olia = ca_increase(CcKind::Olia, &views, idx);
+            assert!(olia.is_finite());
+        },
+    );
+}
 
-    /// The out-of-order delay of a segment never exceeds the span between
-    /// the first buffered arrival and final delivery.
-    #[test]
-    fn ooo_delay_bounded_by_blocking_span(gap_ms in 1u64..5_000) {
+/// The out-of-order delay of a segment never exceeds the span between
+/// the first buffered arrival and final delivery.
+#[test]
+fn ooo_delay_bounded_by_blocking_span() {
+    check(256, 1u64..5_000, |gap_ms| {
         let mut rx = Receiver::new(2, 10_000);
         // dsn 1 arrives at t=0 on subflow 1, dsn 0 arrives gap later.
         rx.on_segment(Time::ZERO, 1, Segment { dsn: 1, ssn: 0 });
@@ -119,7 +126,7 @@ proptest! {
             0,
             Segment { dsn: 0, ssn: 0 },
         );
-        prop_assert_eq!(out.delivered.len(), 2);
-        prop_assert_eq!(out.delivered[1].ooo_delay, Duration::from_millis(gap_ms));
-    }
+        assert_eq!(out.delivered.len(), 2);
+        assert_eq!(out.delivered[1].ooo_delay, Duration::from_millis(gap_ms));
+    });
 }

@@ -10,7 +10,7 @@
 //!   schedules delivery events. No callbacks, no interior mutability, no
 //!   hidden threads.
 //! * **Determinism.** Integer-nanosecond clock, `(time, sequence)`-ordered
-//!   event heap, and one seeded [`rand::rngs::SmallRng`] per stochastic
+//!   event heap, and one seeded [`testkit::Rng`] per stochastic
 //!   component. A run is a pure function of (config, seed).
 //! * **Bufferbloat built in.** Droptail queues sized in bytes reproduce the
 //!   RTT inflation the paper measures under `tc` regulation (Table 2).

@@ -14,8 +14,7 @@
 use std::collections::VecDeque;
 use std::time::Duration;
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use testkit::Rng;
 
 use crate::time::Time;
 
@@ -127,7 +126,7 @@ pub struct Link {
     queued_bytes: u64,
     /// Latest arrival handed out, for FIFO clamping under jitter.
     last_arrival: Time,
-    rng: SmallRng,
+    rng: Rng,
     stats: LinkStats,
 }
 
@@ -140,7 +139,7 @@ impl Link {
             in_queue: VecDeque::new(),
             queued_bytes: 0,
             last_arrival: Time::ZERO,
-            rng: SmallRng::seed_from_u64(seed),
+            rng: Rng::seed_from_u64(seed),
             stats: LinkStats::default(),
         }
     }
@@ -204,7 +203,7 @@ impl Link {
     /// Offer a packet of `wire_bytes` to the link at time `now`.
     pub fn enqueue(&mut self, now: Time, wire_bytes: u32) -> Verdict {
         self.expire(now);
-        if self.cfg.loss_rate > 0.0 && self.rng.gen::<f64>() < self.cfg.loss_rate {
+        if self.cfg.loss_rate > 0.0 && self.rng.f64() < self.cfg.loss_rate {
             self.stats.dropped_random += 1;
             return Verdict::DropRandom;
         }

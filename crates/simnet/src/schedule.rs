@@ -7,8 +7,7 @@
 
 use std::time::Duration;
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use testkit::Rng;
 
 use crate::time::Time;
 
@@ -31,7 +30,7 @@ impl RateSchedule {
     /// `rates_mbps`, covering `[0, horizon]`.
     pub fn random(seed: u64, mean_interval: Duration, rates_mbps: &[f64], horizon: Time) -> Self {
         assert!(!rates_mbps.is_empty(), "need at least one candidate rate");
-        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut rng = Rng::seed_from_u64(seed);
         let mut changes = Vec::new();
         let mut t = Time::ZERO;
         loop {

@@ -1,69 +1,73 @@
 //! Property tests for the link model: FIFO delivery, queue conservation and
 //! latency bounds must hold for arbitrary traffic patterns.
+//!
+//! Run under `testkit::prop`; replay a failure with `TESTKIT_SEED=<n>`.
 
 use std::time::Duration;
 
-use proptest::prelude::*;
 use simnet::{Link, LinkConfig, Time, Verdict};
+use testkit::prop::{check, vec_of};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn arrivals_are_fifo_for_any_traffic(
-        mbps in 1u32..100,
-        delay_ms in 0u64..200,
-        jitter_ms in 0u64..50,
-        offers in prop::collection::vec((0u64..10_000, 200u32..1500), 1..200),
-    ) {
-        let mut cfg = LinkConfig::shaped(
-            f64::from(mbps),
-            Duration::from_millis(delay_ms),
-            256 * 1024,
-        );
-        cfg.jitter_max = Duration::from_millis(jitter_ms);
-        let mut link = Link::new(cfg, 42);
-        let mut t = Time::ZERO;
-        let mut last_arrival = Time::ZERO;
-        for (gap_us, bytes) in offers {
-            t += Duration::from_micros(gap_us);
-            if let Verdict::Deliver { arrival } = link.enqueue(t, bytes) {
-                prop_assert!(arrival >= last_arrival, "FIFO violated");
-                prop_assert!(arrival >= t, "arrival before send");
-                last_arrival = arrival;
+#[test]
+fn arrivals_are_fifo_for_any_traffic() {
+    check(
+        128,
+        (
+            1u32..100,
+            0u64..200,
+            0u64..50,
+            vec_of((0u64..10_000, 200u32..1500), 1..200),
+        ),
+        |(mbps, delay_ms, jitter_ms, offers)| {
+            let mut cfg = LinkConfig::shaped(
+                f64::from(mbps),
+                Duration::from_millis(delay_ms),
+                256 * 1024,
+            );
+            cfg.jitter_max = Duration::from_millis(jitter_ms);
+            let mut link = Link::new(cfg, 42);
+            let mut t = Time::ZERO;
+            let mut last_arrival = Time::ZERO;
+            for (gap_us, bytes) in offers {
+                t += Duration::from_micros(gap_us);
+                if let Verdict::Deliver { arrival } = link.enqueue(t, bytes) {
+                    assert!(arrival >= last_arrival, "FIFO violated");
+                    assert!(arrival >= t, "arrival before send");
+                    last_arrival = arrival;
+                }
             }
-        }
-    }
+        },
+    );
+}
 
-    #[test]
-    fn accepted_plus_dropped_equals_offered(
-        mbps in 1u32..20,
-        queue_kb in 4u64..64,
-        offers in prop::collection::vec(500u32..1500, 1..300),
-    ) {
-        let mut link = Link::new(
-            LinkConfig::shaped(f64::from(mbps), Duration::from_millis(10), queue_kb * 1024),
-            7,
-        );
-        let n = offers.len() as u64;
-        let mut delivered = 0u64;
-        for bytes in offers {
-            // All at t=0: worst-case burst into the queue.
-            if matches!(link.enqueue(Time::ZERO, bytes), Verdict::Deliver { .. }) {
-                delivered += 1;
+#[test]
+fn accepted_plus_dropped_equals_offered() {
+    check(
+        128,
+        (1u32..20, 4u64..64, vec_of(500u32..1500, 1..300)),
+        |(mbps, queue_kb, offers)| {
+            let mut link = Link::new(
+                LinkConfig::shaped(f64::from(mbps), Duration::from_millis(10), queue_kb * 1024),
+                7,
+            );
+            let n = offers.len() as u64;
+            let mut delivered = 0u64;
+            for bytes in offers {
+                // All at t=0: worst-case burst into the queue.
+                if matches!(link.enqueue(Time::ZERO, bytes), Verdict::Deliver { .. }) {
+                    delivered += 1;
+                }
             }
-        }
-        let stats = link.stats();
-        prop_assert_eq!(stats.delivered_pkts, delivered);
-        prop_assert_eq!(stats.delivered_pkts + stats.dropped_queue, n);
-    }
+            let stats = link.stats();
+            assert_eq!(stats.delivered_pkts, delivered);
+            assert_eq!(stats.delivered_pkts + stats.dropped_queue, n);
+        },
+    );
+}
 
-    #[test]
-    fn latency_bounded_by_queue_plus_serialization(
-        mbps in 1u32..50,
-        queue_kb in 8u64..128,
-        bytes in 200u32..1500,
-    ) {
+#[test]
+fn latency_bounded_by_queue_plus_serialization() {
+    check(128, (1u32..50, 8u64..128, 200u32..1500), |(mbps, queue_kb, bytes)| {
         // A packet accepted at time t arrives no later than
         // t + (queue + own size)/rate + propagation (no jitter configured).
         let prop_delay = Duration::from_millis(20);
@@ -80,17 +84,17 @@ proptest! {
             let bound = Duration::from_secs_f64(
                 max_backlog_bits as f64 / (f64::from(mbps) * 1e6),
             ) + prop_delay + Duration::from_millis(1);
-            prop_assert!(
+            assert!(
                 arrival <= Time::ZERO + bound,
                 "arrival {arrival:?} beyond bound {bound:?}"
             );
         }
-    }
+    });
+}
 
-    #[test]
-    fn rate_changes_never_break_fifo(
-        rates in prop::collection::vec(1u32..50, 2..10),
-    ) {
+#[test]
+fn rate_changes_never_break_fifo() {
+    check(128, vec_of(1u32..50, 2..10), |rates| {
         let mut link = Link::new(
             LinkConfig::shaped(f64::from(rates[0]), Duration::from_millis(10), 128 * 1024),
             3,
@@ -102,10 +106,10 @@ proptest! {
             for _ in 0..20 {
                 t += Duration::from_micros(300 + i as u64);
                 if let Verdict::Deliver { arrival } = link.enqueue(t, 1200) {
-                    prop_assert!(arrival >= last);
+                    assert!(arrival >= last);
                     last = arrival;
                 }
             }
         }
-    }
+    });
 }

@@ -1,0 +1,258 @@
+//! Criterion-lite benchmark runner.
+//!
+//! Mirrors the slice of the Criterion API the workspace's bench harnesses
+//! use — `Criterion::default()`, `benchmark_group`, `sample_size`,
+//! `bench_function`, `Bencher::iter`, and the `criterion_group!` /
+//! `criterion_main!` macros — so a bench file ports by swapping its `use`
+//! line. Each benchmark is calibrated so one sample runs long enough to be
+//! measurable, then reports the median and p95 per-iteration time.
+//!
+//! Setting `TESTKIT_BENCH_SMOKE=1` collapses every benchmark to a single
+//! iteration: `scripts/verify.sh` uses this to prove the harnesses still
+//! *run* without paying measurement-grade runtime.
+
+use std::time::{Duration, Instant};
+
+/// Re-export so bench files can use one import path for everything.
+pub use std::hint::black_box;
+
+/// Environment variable that turns benches into 1-iteration smoke runs.
+pub const ENV_SMOKE: &str = "TESTKIT_BENCH_SMOKE";
+
+/// Target wall-clock time for one measured sample during calibration.
+const TARGET_SAMPLE: Duration = Duration::from_millis(20);
+
+fn smoke_mode() -> bool {
+    std::env::var(ENV_SMOKE).map(|v| v != "0" && !v.is_empty()).unwrap_or(false)
+}
+
+/// Top-level bench context (Criterion-shaped).
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 30 }
+    }
+}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.to_string(), sample_size: self.sample_size, _parent: self }
+    }
+
+    /// Run one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_benchmark(name, self.sample_size, f);
+        self
+    }
+}
+
+/// A named group of benchmarks sharing a sample size.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of measured samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Run one benchmark within the group.
+    pub fn bench_function<S: std::fmt::Display, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: S,
+        f: F,
+    ) -> &mut Self {
+        run_benchmark(&format!("{}/{}", self.name, id), self.sample_size, f);
+        self
+    }
+
+    /// End the group (kept for API compatibility; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; `iter` measures the workload.
+pub struct Bencher {
+    iters_per_sample: u64,
+    samples: usize,
+    /// Measured per-iteration times in nanoseconds, one per sample.
+    sample_ns: Vec<f64>,
+    calibrating: bool,
+}
+
+impl Bencher {
+    /// Measure `f`, running it enough times per sample to be timeable.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.calibrating {
+            // One timed iteration decides the batch size for real samples.
+            let t0 = Instant::now();
+            black_box(f());
+            let elapsed = t0.elapsed().max(Duration::from_nanos(1));
+            let per_iter = elapsed.as_secs_f64();
+            let target = TARGET_SAMPLE.as_secs_f64();
+            self.iters_per_sample = ((target / per_iter).ceil() as u64).clamp(1, 1_000_000);
+            return;
+        }
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                black_box(f());
+            }
+            let elapsed = t0.elapsed();
+            self.sample_ns.push(elapsed.as_nanos() as f64 / self.iters_per_sample as f64);
+        }
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(name: &str, sample_size: usize, mut f: F) {
+    if smoke_mode() {
+        let mut b = Bencher {
+            iters_per_sample: 1,
+            samples: 1,
+            sample_ns: Vec::new(),
+            calibrating: false,
+        };
+        f(&mut b);
+        println!("bench {name}: ok (smoke, 1 iteration)");
+        return;
+    }
+
+    // Calibration pass: size the batch so a sample is ~TARGET_SAMPLE long.
+    let mut cal = Bencher {
+        iters_per_sample: 1,
+        samples: 0,
+        sample_ns: Vec::new(),
+        calibrating: true,
+    };
+    f(&mut cal);
+
+    let mut b = Bencher {
+        iters_per_sample: cal.iters_per_sample,
+        samples: sample_size.max(1),
+        sample_ns: Vec::new(),
+        calibrating: false,
+    };
+    f(&mut b);
+
+    if b.sample_ns.is_empty() {
+        println!("bench {name}: no measurement (closure never called iter)");
+        return;
+    }
+    b.sample_ns.sort_by(|a, x| a.partial_cmp(x).expect("finite timings"));
+    let median = percentile(&b.sample_ns, 0.50);
+    let p95 = percentile(&b.sample_ns, 0.95);
+    println!(
+        "bench {name}: median {}, p95 {} ({} samples x {} iters)",
+        fmt_ns(median),
+        fmt_ns(p95),
+        b.sample_ns.len(),
+        b.iters_per_sample,
+    );
+}
+
+/// Nearest-rank percentile over an ascending-sorted slice.
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    let idx = ((q * sorted.len() as f64).ceil() as usize).saturating_sub(1);
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} us", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Define a bench group function, Criterion-style. Both invocation forms are
+/// supported:
+///
+/// ```ignore
+/// criterion_group!(benches, bench_a, bench_b);
+/// criterion_group! {
+///     name = benches;
+///     config = Criterion::default();
+///     targets = bench_a, bench_b
+/// }
+/// ```
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::bench::Criterion = $cfg;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::bench::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Define `main` for a `harness = false` bench target. Ignores the CLI
+/// arguments Cargo forwards (`--bench`, filters): every group always runs.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+// Make the macros importable from the module path bench files already use:
+// `use testkit::bench::{criterion_group, criterion_main, Criterion};`.
+pub use crate::{criterion_group, criterion_main};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("selftest");
+        group.sample_size(3);
+        let mut calls = 0u64;
+        group.bench_function("noop", |b| {
+            b.iter(|| {
+                calls += 1;
+                black_box(calls)
+            })
+        });
+        group.finish();
+        // Calibration + 3 samples all invoked the closure.
+        assert!(calls > 3);
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&xs, 0.5), 2.0);
+        assert_eq!(percentile(&xs, 0.95), 4.0);
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+    }
+
+    #[test]
+    fn fmt_ns_scales() {
+        assert_eq!(fmt_ns(12.3), "12.3 ns");
+        assert_eq!(fmt_ns(12_300.0), "12.30 us");
+        assert_eq!(fmt_ns(12_300_000.0), "12.30 ms");
+        assert_eq!(fmt_ns(2_500_000_000.0), "2.500 s");
+    }
+}

@@ -10,8 +10,7 @@
 //! the *same* page (documented substitution in DESIGN.md).
 
 use mptcp::{Api, Application, ConnId, ReqId};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use testkit::Rng;
 use simnet::Time;
 
 /// A static page: an ordered list of object sizes.
@@ -36,7 +35,7 @@ impl PageModel {
         min_bytes: u64,
         max_bytes: u64,
     ) -> Self {
-        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut rng = Rng::seed_from_u64(seed);
         let mu = median_bytes.ln();
         let object_sizes = (0..objects)
             .map(|_| {

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Standard pre-PR gate: the tier-1 verify plus a smoke run of every bench
+# harness, all fully offline (the hermetic-build policy in DESIGN.md — no
+# crates.io dependency anywhere, so --offline must always succeed).
+#
+# Usage: scripts/verify.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: release build (offline) =="
+cargo build --release --offline
+
+echo "== tier-1: workspace tests (offline) =="
+cargo test -q --offline --workspace
+
+echo "== bench harnesses in smoke mode (1 iteration each) =="
+TESTKIT_BENCH_SMOKE=1 cargo bench --offline -p ecf-bench
+
+echo "verify.sh: all green"

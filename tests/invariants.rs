@@ -1,9 +1,11 @@
 //! Whole-stack invariants, including property-based sweeps over random
 //! configurations: whatever the bandwidths, scheduler and workload, data is
 //! conserved, delivery is in order, and runs are reproducible.
+//!
+//! Run under `testkit::prop`; replay a failure with `TESTKIT_SEED=<n>`.
 
 use mptcp_ecf::prelude::*;
-use proptest::prelude::*;
+use testkit::prop::{check, vec_of};
 
 /// Fixed list of downloads over one connection.
 struct Fetch {
@@ -47,59 +49,60 @@ fn run(
     tb
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
+#[test]
+fn conservation_and_order_hold_for_any_config() {
+    check(
+        12,
+        (
+            0usize..6,
+            0usize..6,
+            0usize..4,
+            vec_of(1024u64..1_500_000, 1..4),
+            0u64..1000,
+        ),
+        |(wifi_idx, lte_idx, kind_idx, sizes, seed)| {
+            let bw = [0.3, 0.7, 1.1, 1.7, 4.2, 8.6];
+            let kind = SchedulerKind::paper_set()[kind_idx];
+            let tb = run(bw[wifi_idx], bw[lte_idx], kind, sizes.clone(), seed);
+            let world = tb.world();
 
-    #[test]
-    fn conservation_and_order_hold_for_any_config(
-        wifi_idx in 0usize..6,
-        lte_idx in 0usize..6,
-        kind_idx in 0usize..4,
-        sizes in prop::collection::vec(1024u64..1_500_000, 1..4),
-        seed in 0u64..1000,
-    ) {
-        let bw = [0.3, 0.7, 1.1, 1.7, 4.2, 8.6];
-        let kind = SchedulerKind::paper_set()[kind_idx];
-        let tb = run(bw[wifi_idx], bw[lte_idx], kind, sizes.clone(), seed);
-        let world = tb.world();
+            // Conservation: the receiver delivered exactly what was written.
+            assert_eq!(world.receiver(0).meta_next(), world.sender(0).next_dsn());
+            assert!(world.all_drained());
 
-        // Conservation: the receiver delivered exactly what was written.
-        prop_assert_eq!(world.receiver(0).meta_next(), world.sender(0).next_dsn());
-        prop_assert!(world.all_drained());
+            // Every request completed after it was issued, in issue order.
+            let recs: Vec<_> = world.recorder.requests.iter().collect();
+            assert_eq!(recs.len(), sizes.len());
+            let mut last_completed = Time::ZERO;
+            for r in &recs {
+                let completed = r.completed.expect("completed");
+                assert!(completed > r.issued);
+                assert!(completed >= last_completed);
+                last_completed = completed;
+            }
 
-        // Every request completed after it was issued, in issue order.
-        let recs: Vec<_> = world.recorder.requests.iter().collect();
-        prop_assert_eq!(recs.len(), sizes.len());
-        let mut last_completed = Time::ZERO;
-        for r in &recs {
-            let completed = r.completed.expect("completed");
-            prop_assert!(completed > r.issued);
-            prop_assert!(completed >= last_completed);
-            last_completed = completed;
-        }
+            // OOO delays are finite and the recorder saw every delivered segment.
+            let delivered: u64 = world.receiver(0).stats().delivered_segs;
+            assert_eq!(world.recorder.ooo_delays_us.len() as u64, delivered);
+        },
+    );
+}
 
-        // OOO delays are finite and the recorder saw every delivered segment.
-        let delivered: u64 = world.receiver(0).stats().delivered_segs;
-        prop_assert_eq!(world.recorder.ooo_delays_us.len() as u64, delivered);
-    }
-
-    #[test]
-    fn runs_are_reproducible(
-        kind_idx in 0usize..4,
-        seed in 0u64..50,
-    ) {
+#[test]
+fn runs_are_reproducible() {
+    check(12, (0usize..4, 0u64..50), |(kind_idx, seed)| {
         let kind = SchedulerKind::paper_set()[kind_idx];
         let a = run(0.7, 4.2, kind, vec![300_000, 700_000], seed);
         let b = run(0.7, 4.2, kind, vec![300_000, 700_000], seed);
-        prop_assert_eq!(
+        assert_eq!(
             &a.world().recorder.ooo_delays_us,
             &b.world().recorder.ooo_delays_us
         );
         let t = |tb: &Testbed<Fetch>| {
             tb.world().recorder.requests.last().unwrap().completed.unwrap()
         };
-        prop_assert_eq!(t(&a), t(&b));
-    }
+        assert_eq!(t(&a), t(&b));
+    });
 }
 
 #[test]

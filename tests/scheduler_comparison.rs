@@ -121,6 +121,30 @@ fn web_page_load_improves_with_ecf_under_heterogeneity() {
 }
 
 #[test]
+fn seeded_regression_ecf_completes_no_later_than_minrtt() {
+    // Pinned (config, seed) regression for the paper's headline ordering:
+    // at a heterogeneous 1/10 Mbps WiFi/LTE pair, ECF's download completion
+    // time never exceeds minRTT's. Deliberately asserts the *ordering*, not
+    // exact times: the random streams feeding jitter/loss may change when
+    // the PRNG evolves (as in the rand → testkit::rng swap), but the
+    // ordering is the paper's claim and must survive any reseeding.
+    for seed in [1u64, 7, 20170707] {
+        let run = |kind| {
+            let cfg = TestbedConfig::wifi_lte(1.0, 10.0, kind, seed);
+            let mut tb = Testbed::new(cfg, WgetApp::new(512 * 1024));
+            tb.run_until(Time::from_secs(300));
+            tb.app().completed_at.expect("download completes").as_secs_f64()
+        };
+        let minrtt = run(SchedulerKind::Default);
+        let ecf = run(SchedulerKind::Ecf);
+        assert!(
+            ecf <= minrtt,
+            "seed {seed}: ecf {ecf:.3}s must not exceed minRTT {minrtt:.3}s"
+        );
+    }
+}
+
+#[test]
 fn four_subflows_keep_the_ecf_advantage() {
     // Fig 15: two subflows per interface, 0.3 Mbps WiFi / 8.6 Mbps LTE.
     let run = |kind| {
