@@ -54,29 +54,62 @@ where
     F: Fn(T) -> R + Sync,
 {
     let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    parallel_map_workers(items, f, workers)
+}
+
+/// [`parallel_map`] with an explicit worker count (tests force multiple
+/// workers on single-core machines).
+///
+/// Work is claimed lock-free: the only shared hot word is an atomic work
+/// index bumped with `fetch_add`, so workers never serialize on a queue
+/// mutex. Each input slot is taken exactly once and each output slot
+/// written exactly once by the worker that claimed that index, so the
+/// per-slot mutexes (needed only to satisfy safe Rust's aliasing rules)
+/// are uncontended. `f` runs with no lock held: a panicking item poisons
+/// nothing, the other workers drain the remaining items, and the panic
+/// resurfaces from `thread::scope` on join — no deadlock.
+pub fn parallel_map_workers<T, R, F>(items: Vec<T>, f: F, workers: usize) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
     let n = items.len();
     if n <= 1 || workers <= 1 {
         return items.into_iter().map(f).collect();
     }
-    let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
-    let work: Vec<(usize, T)> = items.into_iter().enumerate().collect();
-    let queue = std::sync::Mutex::new(work);
-    let results = std::sync::Mutex::new(&mut slots);
+    let inputs: Vec<Mutex<Option<T>>> =
+        items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let outputs: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
     std::thread::scope(|scope| {
         for _ in 0..workers.min(n) {
             scope.spawn(|| loop {
-                let item = queue.lock().expect("queue lock").pop();
-                match item {
-                    Some((idx, t)) => {
-                        let r = f(t);
-                        results.lock().expect("results lock")[idx] = Some(r);
-                    }
-                    None => break,
+                let idx = next.fetch_add(1, Ordering::Relaxed);
+                if idx >= n {
+                    break;
                 }
+                let t = inputs[idx]
+                    .lock()
+                    .expect("input slot")
+                    .take()
+                    .expect("index claimed exactly once");
+                let r = f(t);
+                *outputs[idx].lock().expect("output slot") = Some(r);
             });
         }
     });
-    slots.into_iter().map(|s| s.expect("worker filled every slot")).collect()
+    outputs
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("output slot")
+                .expect("worker filled every slot")
+        })
+        .collect()
 }
 
 /// One streaming run's configuration.
@@ -146,6 +179,8 @@ pub struct StreamingOutcome {
     pub cwnd_traces: Vec<metrics::TimeSeries>,
     /// Send-buffer occupancy traces `[subflow]` if recorded (Fig 3).
     pub sndbuf_traces: Vec<metrics::TimeSeries>,
+    /// Engine events processed by the run (determinism + throughput metric).
+    pub events_processed: u64,
 }
 
 /// Run one DASH streaming session and collect the figure inputs.
@@ -234,6 +269,7 @@ pub fn run_streaming(cfg: &StreamingConfig) -> StreamingOutcome {
         download_progress,
         cwnd_traces: world.recorder.cwnd.first().cloned().unwrap_or_default(),
         sndbuf_traces: world.recorder.sndbuf.first().cloned().unwrap_or_default(),
+        events_processed: tb.events_processed(),
     }
 }
 
@@ -317,6 +353,43 @@ mod tests {
     fn parallel_map_handles_small_inputs() {
         assert_eq!(parallel_map(Vec::<i32>::new(), |x| x), Vec::<i32>::new());
         assert_eq!(parallel_map(vec![7], |x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn parallel_map_preserves_order_with_forced_workers() {
+        // Force real concurrency even on single-core CI machines, where
+        // available_parallelism would take the serial path.
+        for workers in [2, 4, 8] {
+            let out = parallel_map_workers((0..257).collect::<Vec<_>>(), |x| x * 3, workers);
+            assert_eq!(out, (0..257).map(|x| x * 3).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn parallel_map_workers_exceeding_items_is_fine() {
+        let out = parallel_map_workers(vec![1, 2, 3], |x| x + 10, 16);
+        assert_eq!(out, vec![11, 12, 13]);
+    }
+
+    #[test]
+    fn parallel_map_panic_propagates_without_deadlock() {
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+        use std::sync::atomic::{AtomicUsize, Ordering};
+
+        // One poisoned item; the scope must join (not hang), the panic must
+        // resurface, and the surviving workers must still drain the queue.
+        let done = AtomicUsize::new(0);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            parallel_map_workers((0..64usize).collect::<Vec<_>>(), |x| {
+                if x == 13 {
+                    panic!("boom");
+                }
+                done.fetch_add(1, Ordering::Relaxed);
+                x
+            }, 4)
+        }));
+        assert!(result.is_err(), "worker panic must propagate to the caller");
+        assert_eq!(done.load(Ordering::Relaxed), 63, "other items still ran");
     }
 
     #[test]

@@ -22,8 +22,8 @@ pub mod web;
 pub mod wild;
 
 pub use common::{
-    parallel_map, run_browse, run_streaming, run_wget, Effort, StreamingConfig,
-    StreamingOutcome, BW_SET, VARIABLE_BW_SET,
+    parallel_map, parallel_map_workers, run_browse, run_streaming, run_wget, Effort,
+    StreamingConfig, StreamingOutcome, BW_SET, VARIABLE_BW_SET,
 };
 
 /// An experiment: id, paper artifact, and the function that regenerates it.

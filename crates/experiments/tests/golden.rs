@@ -1,0 +1,122 @@
+//! Golden-digest regression tests for the simulator hot path.
+//!
+//! Each test replays a fully seeded workload and folds every
+//! timing-sensitive observable (request lifecycles, out-of-order delays,
+//! per-chunk throughputs, events processed) into one FNV-1a digest. The
+//! expected values were captured before the O(1) link-delivery-queue
+//! refactor landed; the refactored engine must keep every seeded outcome
+//! bit-identical, because heap entries carry the exact same `(time, seq)`
+//! keys as the old per-packet scheduling (see DESIGN.md, "Event
+//! coalescing on FIFO links").
+//!
+//! If one of these digests changes, the event ordering of the simulator
+//! changed — that is a correctness bug unless a PR deliberately changes
+//! the simulation model itself (in which case regenerate the constants
+//! with `cargo test -p experiments --test golden -- --nocapture` after
+//! reviewing why every downstream figure is allowed to move).
+
+use ecf_core::SchedulerKind;
+use experiments::{run_browse, run_streaming, StreamingConfig};
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Fold one u64 into an FNV-1a accumulator, byte by byte.
+fn fold(acc: &mut u64, x: u64) {
+    for b in x.to_le_bytes() {
+        *acc ^= u64::from(b);
+        *acc = acc.wrapping_mul(FNV_PRIME);
+    }
+}
+
+fn fold_f64(acc: &mut u64, x: f64) {
+    fold(acc, x.to_bits());
+}
+
+/// Digest every deterministic observable of one streaming run.
+fn streaming_digest(seed: u64) -> u64 {
+    let out = run_streaming(&StreamingConfig {
+        video_secs: 30.0,
+        ..StreamingConfig::new(0.3, 8.6, SchedulerKind::Ecf, seed)
+    });
+    let mut d = FNV_OFFSET;
+    fold(&mut d, out.events_processed);
+    fold_f64(&mut d, out.avg_bitrate);
+    fold_f64(&mut d, out.avg_throughput);
+    fold_f64(&mut d, out.fast_fraction);
+    fold(&mut d, out.fast_iw_resets);
+    for &x in &out.ooo_delays {
+        fold_f64(&mut d, x);
+    }
+    for &x in &out.last_packet_gaps {
+        fold_f64(&mut d, x);
+    }
+    for &(t, v) in &out.chunk_throughputs {
+        fold_f64(&mut d, t);
+        fold_f64(&mut d, v);
+    }
+    for &(t, v) in &out.download_progress {
+        fold_f64(&mut d, t);
+        fold_f64(&mut d, v);
+    }
+    d
+}
+
+/// Digest a six-connection browse run: request lifecycles, pooled OOO
+/// delays, and the exact number of engine events processed.
+fn browse_digest(seed: u64) -> u64 {
+    let tb = run_browse(0.3, 8.6, SchedulerKind::Ecf, seed);
+    let mut d = FNV_OFFSET;
+    fold(&mut d, tb.events_processed());
+    let rec = &tb.world().recorder;
+    for r in &rec.requests {
+        fold(&mut d, r.bytes);
+        fold(&mut d, r.issued.as_nanos());
+        fold(&mut d, r.server_arrival.map_or(u64::MAX, |t| t.as_nanos()));
+        fold(&mut d, r.completed.map_or(u64::MAX, |t| t.as_nanos()));
+        for a in &r.last_arrival_per_sub {
+            fold(&mut d, a.map_or(u64::MAX, |t| t.as_nanos()));
+        }
+        for &n in &r.arrivals_per_sub {
+            fold(&mut d, n);
+        }
+    }
+    for &us in &rec.ooo_delays_us {
+        fold(&mut d, us);
+    }
+    d
+}
+
+#[test]
+fn streaming_seed_1_is_bit_identical() {
+    let d = streaming_digest(1);
+    println!("streaming seed 1 digest: {d:#018x}");
+    assert_eq!(d, GOLDEN_STREAMING_SEED_1);
+}
+
+#[test]
+fn streaming_seed_2_is_bit_identical() {
+    let d = streaming_digest(2);
+    println!("streaming seed 2 digest: {d:#018x}");
+    assert_eq!(d, GOLDEN_STREAMING_SEED_2);
+}
+
+#[test]
+fn streaming_seed_2014_is_bit_identical() {
+    let d = streaming_digest(2014);
+    println!("streaming seed 2014 digest: {d:#018x}");
+    assert_eq!(d, GOLDEN_STREAMING_SEED_2014);
+}
+
+#[test]
+fn browse_seed_1_is_bit_identical() {
+    let d = browse_digest(1);
+    println!("browse seed 1 digest: {d:#018x}");
+    assert_eq!(d, GOLDEN_BROWSE_SEED_1);
+}
+
+/// Captured on the pre-refactor all-heap scheduler (PR 1 tree).
+const GOLDEN_STREAMING_SEED_1: u64 = 0xceec_95c6_d6bb_212a;
+const GOLDEN_STREAMING_SEED_2: u64 = 0x8fcd_014e_b130_7ff9;
+const GOLDEN_STREAMING_SEED_2014: u64 = 0x8536_e9cb_b2eb_e94a;
+const GOLDEN_BROWSE_SEED_1: u64 = 0x0087_b015_cafe_1e60;

@@ -98,6 +98,11 @@ pub struct Connection {
     /// testbed as deliveries complete.
     pub response_bounds: VecDeque<(ReqId, u64)>,
     stats: ConnStats,
+    /// Scratch for per-select scheduler snapshots (avoids an allocation per
+    /// scheduled packet).
+    snap_buf: Vec<PathSnapshot>,
+    /// Scratch for coupled-CC views (avoids an allocation per CA ACK).
+    cc_views: Vec<CcView>,
 }
 
 impl Connection {
@@ -126,6 +131,8 @@ impl Connection {
             last_reinject: None,
             response_bounds: VecDeque::new(),
             stats: ConnStats::default(),
+            snap_buf: Vec::with_capacity(subflow_paths.len()),
+            cc_views: Vec::with_capacity(subflow_paths.len()),
         }
     }
 
@@ -216,15 +223,13 @@ impl Connection {
             if self.subflows[sub].cc.in_slow_start() {
                 self.subflows[sub].cc.on_ack_slow_start(out.newly_acked);
             } else {
-                let views: Vec<CcView> = self
-                    .subflows
-                    .iter()
-                    .map(|s| CcView {
-                        cwnd: s.cc.cwnd(),
-                        srtt: s.cc.rtt.srtt().as_secs_f64(),
-                    })
-                    .collect();
-                let inc = ca_increase(self.cfg.cc, &views, sub) * f64::from(out.newly_acked);
+                self.cc_views.clear();
+                self.cc_views.extend(self.subflows.iter().map(|s| CcView {
+                    cwnd: s.cc.cwnd(),
+                    srtt: s.cc.rtt.srtt().as_secs_f64(),
+                }));
+                let inc =
+                    ca_increase(self.cfg.cc, &self.cc_views, sub) * f64::from(out.newly_acked);
                 self.subflows[sub].cc.apply_ca_increase(inc);
             }
         }
@@ -308,8 +313,19 @@ impl Connection {
 
     /// Drive the scheduler until it stops producing transmissions. Returns
     /// the segments to put on the wire, in order.
+    ///
+    /// Convenience wrapper over [`Connection::try_send_into`]; the simulator
+    /// hot path uses the `_into` variant with a reused buffer.
     pub fn try_send(&mut self, now: Time) -> Vec<Transmission> {
         let mut plan = Vec::new();
+        self.try_send_into(now, &mut plan);
+        plan
+    }
+
+    /// Drive the scheduler until it stops producing transmissions, appending
+    /// the segments to put on the wire, in order, to `plan` (not cleared
+    /// here).
+    pub fn try_send_into(&mut self, now: Time, plan: &mut Vec<Transmission>) {
         for sf in &mut self.subflows {
             // RFC 5681 restart applies to *idle* connections only: nothing
             // outstanding (Linux checks packets_out == 0). A flow that is
@@ -353,9 +369,20 @@ impl Connection {
                     reinjection_created |= self.on_rwnd_blocked(now);
                     break;
                 }
-                let snaps = self.snapshots();
+                self.snap_buf.clear();
+                self.snap_buf.extend(self.subflows.iter().enumerate().map(|(i, sf)| {
+                    PathSnapshot {
+                        id: ecf_core::PathId(i),
+                        srtt: sf.cc.rtt.srtt(),
+                        rtt_dev: sf.cc.rtt.rttvar(),
+                        cwnd: sf.cc.cwnd_pkts(),
+                        inflight: sf.inflight_count(),
+                        in_slow_start: sf.cc.in_slow_start(),
+                        usable: sf.usable,
+                    }
+                }));
                 let input = SchedInput {
-                    paths: &snaps,
+                    paths: &self.snap_buf,
                     queued_pkts: k,
                     send_window_free_pkts: self.rwnd_adv - outstanding,
                 };
@@ -384,7 +411,6 @@ impl Connection {
         for sf in &mut self.subflows {
             sf.cc.validate_app_limited(now, sf.inflight_count());
         }
-        plan
     }
 }
 

@@ -12,7 +12,8 @@ use std::time::Duration;
 
 use ecf_core::SchedulerKind;
 use simnet::{
-    Engine, EventQueue, Model, Path, PathConfig, RateSchedule, RunOutcome, Time, Verdict,
+    DeliveryQueue, Engine, EventQueue, Model, Path, PathConfig, RateSchedule, RunOutcome, Time,
+    Verdict,
 };
 use tcp_model::{wire_size, MSS};
 
@@ -29,50 +30,42 @@ const ACK_WIRE_BYTES: u32 = 72;
 const DELACK_TIMEOUT: Duration = Duration::from_millis(40);
 
 /// Events of the testbed model.
+///
+/// Deliberately slim (≤ 24 bytes): these sit in the engine's binary heap,
+/// so every byte is copied on each sift. Per-packet payloads (data
+/// segments, ACKs, requests) do *not* ride in the heap at all — they wait
+/// in per-link [`DeliveryQueue`]s and the heap only carries the one-per-
+/// link-direction [`Event::FwdDeliver`]/[`Event::RevDeliver`] wakeups
+/// (see DESIGN.md, "Event coalescing on FIFO links").
 #[derive(Debug, Clone, Copy)]
 pub enum Event {
     /// Kick the application's `on_start` at t=0.
     AppStart,
-    /// A data segment arrives at the client.
-    Data {
-        /// Connection index.
-        conn: ConnId,
-        /// Subflow index within the connection.
-        sub: SubId,
-        /// The segment.
-        seg: Segment,
+    /// The head of `paths[path]`'s *forward* (data) delivery queue arrives
+    /// at the client.
+    FwdDeliver {
+        /// Path index.
+        path: u32,
     },
-    /// An ACK arrives back at the server.
-    Ack {
-        /// Connection index.
-        conn: ConnId,
-        /// Subflow index within the connection.
-        sub: SubId,
-        /// ACK payload.
-        ack: AckInfo,
-    },
-    /// A request arrives at the server.
-    Request {
-        /// Connection index.
-        conn: ConnId,
-        /// Request id.
-        req: ReqId,
-        /// Response size in segments.
-        segs: u64,
+    /// The head of `paths[path]`'s *reverse* (ACK/request) delivery queue
+    /// arrives at the server.
+    RevDeliver {
+        /// Path index.
+        path: u32,
     },
     /// A delayed-ACK timer fires at the receiver.
     DelAck {
         /// Connection index.
-        conn: ConnId,
+        conn: u32,
         /// Subflow index.
-        sub: SubId,
+        sub: u16,
     },
     /// A subflow's lazy RTO timer fires.
     Rto {
         /// Connection index.
-        conn: ConnId,
+        conn: u32,
         /// Subflow index.
-        sub: SubId,
+        sub: u16,
     },
     /// An application timer fires.
     AppTimer {
@@ -82,26 +75,39 @@ pub enum Event {
     /// A path's shaped (forward) rate changes.
     RateChange {
         /// Path index.
-        path: usize,
+        path: u32,
         /// New rate, bits per second.
         bps: u64,
     },
     /// A path goes down or comes back (handover, radio loss).
     PathState {
         /// Path index.
-        path: usize,
+        path: u32,
         /// True = up, false = down.
         up: bool,
     },
     /// A path's one-way propagation delay changes (wild RTT drift).
     DelayChange {
         /// Path index.
-        path: usize,
+        path: u32,
         /// New one-way delay in microseconds.
         one_way_us: u64,
     },
     /// Periodic trace sampling tick.
     Sample,
+}
+
+/// A packet parked in a per-link [`DeliveryQueue`], waiting for its
+/// direction's wakeup. This is where the fat payloads live instead of the
+/// heap; a deque push/pop is `O(1)` and touches no other entries.
+#[derive(Debug, Clone, Copy)]
+enum LinkPayload {
+    /// A data segment headed for the client.
+    Data { conn: u32, sub: u16, seg: Segment },
+    /// An ACK headed back to the server.
+    Ack { conn: u32, sub: u16, ack: AckInfo },
+    /// An HTTP GET headed for the server.
+    Request { conn: u32, req: ReqId, segs: u64 },
 }
 
 /// The workload driver, running at the client. Implementations issue
@@ -210,6 +216,16 @@ pub struct World {
     pub recorder: Recorder,
     /// Per-path liveness (down paths drop everything offered to them).
     path_up: Vec<bool>,
+    /// In-flight data packets per path (forward direction), head-scheduled.
+    fwd_inflight: Vec<DeliveryQueue<LinkPayload>>,
+    /// In-flight ACKs/requests per path (reverse direction), head-scheduled.
+    rev_inflight: Vec<DeliveryQueue<LinkPayload>>,
+    /// Scratch transmission plan reused across send opportunities.
+    plan_buf: Vec<Transmission>,
+    /// Scratch delivery list reused across data arrivals.
+    delivered_buf: Vec<crate::receiver::Delivered>,
+    /// Requests completed by the data arrival being dispatched.
+    completed_buf: Vec<ReqId>,
     sample_every: Duration,
     sampling: bool,
 }
@@ -280,8 +296,44 @@ impl World {
             conns,
             recorder,
             path_up: vec![true; n_paths],
+            // A window's worth of MSS packets fits comfortably in 512
+            // slots; pre-sizing keeps the steady state reallocation-free.
+            fwd_inflight: (0..n_paths).map(|_| DeliveryQueue::with_capacity(512)).collect(),
+            rev_inflight: (0..n_paths).map(|_| DeliveryQueue::with_capacity(512)).collect(),
+            plan_buf: Vec::with_capacity(64),
+            delivered_buf: Vec::with_capacity(64),
+            completed_buf: Vec::with_capacity(8),
             sample_every: cfg.recorder.sample_every,
             sampling: cfg.recorder.cwnd_traces || cfg.recorder.sndbuf_traces,
+        }
+    }
+
+    /// Park a forward-direction (data) delivery and, when the link was
+    /// idle, schedule its wakeup under the seq reserved for this packet.
+    fn park_fwd(
+        &mut self,
+        arrival: Time,
+        path: usize,
+        payload: LinkPayload,
+        q: &mut EventQueue<Event>,
+    ) {
+        let seq = q.reserve_seq();
+        if let Some((at, s)) = self.fwd_inflight[path].push(arrival, seq, payload) {
+            q.schedule_reserved(at, s, Event::FwdDeliver { path: path as u32 });
+        }
+    }
+
+    /// Reverse-direction (ACK/request) counterpart of [`World::park_fwd`].
+    fn park_rev(
+        &mut self,
+        arrival: Time,
+        path: usize,
+        payload: LinkPayload,
+        q: &mut EventQueue<Event>,
+    ) {
+        let seq = q.reserve_seq();
+        if let Some((at, s)) = self.rev_inflight[path].push(arrival, seq, payload) {
+            q.schedule_reserved(at, s, Event::RevDeliver { path: path as u32 });
         }
     }
 
@@ -333,7 +385,7 @@ impl World {
             // The reverse link is engineered lossless, but stay robust.
             _ => now + self.paths[path].rev.prop_delay(),
         };
-        q.schedule(arrival, Event::Request { conn, req, segs });
+        self.park_rev(arrival, path, LinkPayload::Request { conn: conn as u32, req, segs }, q);
         req
     }
 
@@ -352,7 +404,9 @@ impl World {
                 if let Verdict::Deliver { arrival } =
                     self.paths[path_idx].fwd.enqueue(now, wire_size(MSS))
                 {
-                    q.schedule(arrival, Event::Data { conn, sub: t.sub, seg: t.seg });
+                    let payload =
+                        LinkPayload::Data { conn: conn as u32, sub: t.sub as u16, seg: t.seg };
+                    self.park_fwd(arrival, path_idx, payload, q);
                 }
             }
             // Dropped segments stay in the retransmission queue; dupacks or
@@ -365,8 +419,18 @@ impl World {
         let sf = &mut self.conns[conn].sender.subflows[sub];
         if !sf.rto_scheduled && sf.rto_deadline != Time::MAX {
             sf.rto_scheduled = true;
-            q.schedule(sf.rto_deadline, Event::Rto { conn, sub });
+            q.schedule(sf.rto_deadline, Event::Rto { conn: conn as u32, sub: sub as u16 });
         }
+    }
+
+    /// Run a send opportunity on `conn` and put the resulting segments on
+    /// the wire, reusing the scratch plan buffer.
+    fn pump_send(&mut self, now: Time, conn: ConnId, q: &mut EventQueue<Event>) {
+        let mut plan = std::mem::take(&mut self.plan_buf);
+        plan.clear();
+        self.conns[conn].sender.try_send_into(now, &mut plan);
+        self.transmit(now, conn, &plan, q);
+        self.plan_buf = plan;
     }
 
     fn on_request(&mut self, now: Time, conn: ConnId, req: ReqId, segs: u64, q: &mut EventQueue<Event>) {
@@ -376,10 +440,12 @@ impl World {
         let rec = &mut self.recorder.requests[req as usize];
         rec.first_dsn = first;
         rec.last_dsn = last;
-        let plan = self.conns[conn].sender.try_send(now);
-        self.transmit(now, conn, &plan, q);
+        self.pump_send(now, conn, q);
     }
 
+    /// Handle a data arrival. Requests completed by this segment are pushed
+    /// onto `completed_buf` (cleared here); the dispatcher notifies the
+    /// application from that buffer.
     fn on_data(
         &mut self,
         now: Time,
@@ -387,7 +453,8 @@ impl World {
         sub: SubId,
         seg: Segment,
         q: &mut EventQueue<Event>,
-    ) -> Vec<ReqId> {
+    ) {
+        self.completed_buf.clear();
         // Map the dsn to its request for last-packet bookkeeping.
         let owner = self.conns[conn]
             .sender
@@ -402,19 +469,21 @@ impl World {
             self.recorder.note_arrival(req, sub, now);
         }
 
-        let out = self.conns[conn].receiver.on_segment(now, sub, seg);
-        for d in &out.delivered {
+        let mut delivered = std::mem::take(&mut self.delivered_buf);
+        delivered.clear();
+        let out = self.conns[conn].receiver.on_segment_into(now, sub, seg, &mut delivered);
+        for d in &delivered {
             self.recorder.note_ooo(d.ooo_delay);
         }
+        self.delivered_buf = delivered;
 
         // Complete responses whose last dsn is now delivered.
         let meta_next = self.conns[conn].receiver.meta_next();
-        let mut completed = Vec::new();
         while let Some(&(req, last)) = self.conns[conn].sender.response_bounds.front() {
             if last < meta_next {
                 self.conns[conn].sender.response_bounds.pop_front();
                 self.recorder.requests[req as usize].completed = Some(now);
-                completed.push(req);
+                self.completed_buf.push(req);
             } else {
                 break;
             }
@@ -425,9 +494,11 @@ impl World {
             self.send_ack(now, conn, sub, ack, q);
         } else if out.arm_delack && !self.conns[conn].delack_armed[sub] {
             self.conns[conn].delack_armed[sub] = true;
-            q.schedule(now + DELACK_TIMEOUT, Event::DelAck { conn, sub });
+            q.schedule(
+                now + DELACK_TIMEOUT,
+                Event::DelAck { conn: conn as u32, sub: sub as u16 },
+            );
         }
-        completed
     }
 
     fn send_ack(
@@ -445,7 +516,8 @@ impl World {
         }
         if let Verdict::Deliver { arrival } = self.paths[path_idx].rev.enqueue(now, ACK_WIRE_BYTES)
         {
-            q.schedule(arrival, Event::Ack { conn, sub, ack });
+            let payload = LinkPayload::Ack { conn: conn as u32, sub: sub as u16, ack };
+            self.park_rev(arrival, path_idx, payload, q);
         }
     }
 
@@ -464,12 +536,13 @@ impl World {
                 if let Verdict::Deliver { arrival } =
                     self.paths[path_idx].fwd.enqueue(now, wire_size(MSS))
                 {
-                    q.schedule(arrival, Event::Data { conn, sub, seg });
+                    let payload =
+                        LinkPayload::Data { conn: conn as u32, sub: sub as u16, seg };
+                    self.park_fwd(arrival, path_idx, payload, q);
                 }
             }
         }
-        let plan = self.conns[conn].sender.try_send(now);
-        self.transmit(now, conn, &plan, q);
+        self.pump_send(now, conn, q);
         self.arm_rto(conn, sub, q);
     }
 
@@ -481,7 +554,9 @@ impl World {
                 if let Verdict::Deliver { arrival } =
                     self.paths[path_idx].fwd.enqueue(now, wire_size(MSS))
                 {
-                    q.schedule(arrival, Event::Data { conn, sub, seg });
+                    let payload =
+                        LinkPayload::Data { conn: conn as u32, sub: sub as u16, seg };
+                    self.park_fwd(arrival, path_idx, payload, q);
                 }
             }
         }
@@ -507,8 +582,7 @@ impl World {
                 }
             }
             // Reinjections (down) or fresh capacity (up) may unblock sends.
-            let plan = self.conns[c].sender.try_send(now);
-            self.transmit(now, c, &plan, q);
+            self.pump_send(now, c, q);
         }
     }
 
@@ -536,6 +610,35 @@ pub struct Sim<A: Application> {
     pub app: A,
 }
 
+impl<A: Application> Sim<A> {
+    /// Hand a just-arrived link payload to the right protocol handler.
+    fn dispatch(&mut self, now: Time, payload: LinkPayload, q: &mut EventQueue<Event>) {
+        match payload {
+            LinkPayload::Data { conn, sub, seg } => {
+                let conn = conn as usize;
+                self.world.on_data(now, conn, usize::from(sub), seg, q);
+                if !self.world.completed_buf.is_empty() {
+                    // on_data is never re-entered while the application runs
+                    // (it is only called from this dispatcher), so taking
+                    // the buffer is safe and keeps its capacity.
+                    let completed = std::mem::take(&mut self.world.completed_buf);
+                    for &req in &completed {
+                        let mut api = Api { now, world: &mut self.world, queue: q };
+                        self.app.on_response_complete(now, conn, req, &mut api);
+                    }
+                    self.world.completed_buf = completed;
+                }
+            }
+            LinkPayload::Ack { conn, sub, ack } => {
+                self.world.on_ack(now, conn as usize, usize::from(sub), ack, q);
+            }
+            LinkPayload::Request { conn, req, segs } => {
+                self.world.on_request(now, conn as usize, req, segs, q);
+            }
+        }
+    }
+}
+
 impl<A: Application> Model for Sim<A> {
     type Event = Event;
 
@@ -549,23 +652,42 @@ impl<A: Application> Model for Sim<A> {
                 let mut api = Api { now, world: &mut self.world, queue: q };
                 self.app.on_timer(now, token, &mut api);
             }
-            Event::Request { conn, req, segs } => self.world.on_request(now, conn, req, segs, q),
-            Event::Data { conn, sub, seg } => {
-                let completed = self.world.on_data(now, conn, sub, seg, q);
-                for req in completed {
-                    let mut api = Api { now, world: &mut self.world, queue: q };
-                    self.app.on_response_complete(now, conn, req, &mut api);
+            Event::FwdDeliver { path } => {
+                let p = path as usize;
+                if let Some((payload, next)) = self.world.fwd_inflight[p].pop() {
+                    // Re-arm the wakeup for the new head *before* dispatching:
+                    // handling the payload may park more deliveries behind it.
+                    if let Some((at, s)) = next {
+                        q.schedule_reserved(at, s, Event::FwdDeliver { path });
+                    }
+                    self.dispatch(now, payload, q);
                 }
             }
-            Event::Ack { conn, sub, ack } => self.world.on_ack(now, conn, sub, ack, q),
-            Event::DelAck { conn, sub } => self.world.on_delack(now, conn, sub, q),
-            Event::Rto { conn, sub } => self.world.on_rto(now, conn, sub, q),
-            Event::PathState { path, up } => self.world.on_path_state(now, path, up, q),
-            Event::RateChange { path, bps } => self.world.paths[path].fwd.set_rate_bps(bps),
+            Event::RevDeliver { path } => {
+                let p = path as usize;
+                if let Some((payload, next)) = self.world.rev_inflight[p].pop() {
+                    if let Some((at, s)) = next {
+                        q.schedule_reserved(at, s, Event::RevDeliver { path });
+                    }
+                    self.dispatch(now, payload, q);
+                }
+            }
+            Event::DelAck { conn, sub } => {
+                self.world.on_delack(now, conn as usize, usize::from(sub), q);
+            }
+            Event::Rto { conn, sub } => {
+                self.world.on_rto(now, conn as usize, usize::from(sub), q);
+            }
+            Event::PathState { path, up } => {
+                self.world.on_path_state(now, path as usize, up, q);
+            }
+            Event::RateChange { path, bps } => {
+                self.world.paths[path as usize].fwd.set_rate_bps(bps);
+            }
             Event::DelayChange { path, one_way_us } => {
                 let d = Duration::from_micros(one_way_us);
-                self.world.paths[path].fwd.set_prop_delay(d);
-                self.world.paths[path].rev.set_prop_delay(d);
+                self.world.paths[path as usize].fwd.set_prop_delay(d);
+                self.world.paths[path as usize].rev.set_prop_delay(d);
             }
             Event::Sample => {
                 self.world.record_samples(now);
@@ -595,19 +717,24 @@ impl<A: Application> Testbed<A> {
         }
         for (path, sched) in &cfg.rate_schedules {
             for &(at, bps) in &sched.changes {
-                engine.queue_mut().schedule(at, Event::RateChange { path: *path, bps });
+                engine
+                    .queue_mut()
+                    .schedule(at, Event::RateChange { path: *path as u32, bps });
             }
         }
         for (path, sched) in &cfg.delay_schedules {
             for &(at, d) in sched {
                 engine.queue_mut().schedule(
                     at,
-                    Event::DelayChange { path: *path, one_way_us: d.as_micros() as u64 },
+                    Event::DelayChange {
+                        path: *path as u32,
+                        one_way_us: d.as_micros() as u64,
+                    },
                 );
             }
         }
         for &(at, path, up) in &cfg.path_events {
-            engine.queue_mut().schedule(at, Event::PathState { path, up });
+            engine.queue_mut().schedule(at, Event::PathState { path: path as u32, up });
         }
         Testbed { engine }
     }

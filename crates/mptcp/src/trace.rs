@@ -111,8 +111,10 @@ impl Recorder {
         };
         Recorder {
             cfg,
-            requests: Vec::new(),
-            ooo_delays_us: Vec::new(),
+            // Sized for a long DASH session (hundreds of chunk requests) and
+            // its reordering tail; avoids doubling-reallocs on the hot path.
+            requests: Vec::with_capacity(256),
+            ooo_delays_us: Vec::with_capacity(if cfg.ooo_delays { 4096 } else { 0 }),
             cwnd: mk(cfg.cwnd_traces),
             sndbuf: mk(cfg.sndbuf_traces),
         }

@@ -68,9 +68,34 @@ impl<E> EventQueue<E> {
 
     /// Schedule `event` to fire at absolute time `at`.
     pub fn schedule(&mut self, at: Time, event: E) {
+        let seq = self.reserve_seq();
+        self.heap.push(Entry { at, seq, event });
+    }
+
+    /// Allocate the next tie-break sequence number *without* inserting a
+    /// heap entry.
+    ///
+    /// This is the coalescing hook (see [`crate::DeliveryQueue`]): a model
+    /// that parks a delivery in a per-link FIFO instead of the heap reserves
+    /// its seq at the moment the old code would have called [`schedule`],
+    /// then materializes the heap entry later via [`schedule_reserved`].
+    /// Because the counter advances in exactly the same program order either
+    /// way, the `(time, seq)` keys — and therefore the engine's total event
+    /// order — are bit-identical to scheduling every delivery individually.
+    ///
+    /// [`schedule`]: EventQueue::schedule
+    /// [`schedule_reserved`]: EventQueue::schedule_reserved
+    pub fn reserve_seq(&mut self) -> u64 {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.scheduled_total += 1;
+        seq
+    }
+
+    /// Insert an event under a seq previously obtained from
+    /// [`EventQueue::reserve_seq`]. Does not advance the counter.
+    pub fn schedule_reserved(&mut self, at: Time, seq: u64, event: E) {
+        debug_assert!(seq < self.next_seq, "seq {seq} was never reserved");
         self.heap.push(Entry { at, seq, event });
     }
 

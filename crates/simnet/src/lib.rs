@@ -48,12 +48,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod delivery;
 mod engine;
 mod link;
 mod path;
 mod schedule;
 mod time;
 
+pub use delivery::DeliveryQueue;
 pub use engine::{Engine, EventQueue, Model, RunOutcome};
 pub use link::{Link, LinkConfig, LinkStats, Verdict};
 pub use path::{

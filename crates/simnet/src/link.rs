@@ -115,6 +115,19 @@ pub struct LinkStats {
     pub dropped_random: u64,
 }
 
+/// Fractional bits of the serialization reciprocal (Q32 fixed point).
+const RECIP_SHIFT: u32 = 32;
+/// Nanoseconds of serialization per byte, numerator: 8 bits × 1e9 ns.
+const BIT_NANOS_PER_BYTE: u128 = 8 * 1_000_000_000;
+
+/// Precomputed `ceil(8e9 × 2^32 / rate)`: multiplying by wire bytes and
+/// shifting right by [`RECIP_SHIFT`] approximates the serialization nanos
+/// without the per-packet `u128` division (see [`Link::serialization`]).
+fn serialization_recip(rate_bps: u64) -> u128 {
+    let rate = u128::from(rate_bps.max(1));
+    (BIT_NANOS_PER_BYTE << RECIP_SHIFT).div_ceil(rate)
+}
+
 /// One direction of a network path. See the module docs.
 pub struct Link {
     cfg: LinkConfig,
@@ -126,6 +139,11 @@ pub struct Link {
     queued_bytes: u64,
     /// Latest arrival handed out, for FIFO clamping under jitter.
     last_arrival: Time,
+    /// Q32 nanos-per-byte reciprocal, recomputed on every rate change.
+    recip_q32: u128,
+    /// True when the config has neither jitter nor random loss — the common
+    /// case, which then skips the per-packet RNG branches entirely.
+    deterministic: bool,
     rng: Rng,
     stats: LinkStats,
 }
@@ -133,12 +151,16 @@ pub struct Link {
 impl Link {
     /// Create a link; `seed` drives jitter and random loss only.
     pub fn new(cfg: LinkConfig, seed: u64) -> Self {
+        let recip_q32 = serialization_recip(cfg.rate_bps);
+        let deterministic = cfg.loss_rate <= 0.0 && cfg.jitter_max == Duration::ZERO;
         Link {
             cfg,
             busy_until: Time::ZERO,
             in_queue: VecDeque::new(),
             queued_bytes: 0,
             last_arrival: Time::ZERO,
+            recip_q32,
+            deterministic,
             rng: Rng::seed_from_u64(seed),
             stats: LinkStats::default(),
         }
@@ -157,6 +179,7 @@ impl Link {
     /// Latency-sized queues are re-derived for the new rate.
     pub fn set_rate_bps(&mut self, rate_bps: u64) {
         self.cfg.rate_bps = rate_bps.max(1);
+        self.recip_q32 = serialization_recip(self.cfg.rate_bps);
         if let Some(latency) = self.cfg.queue_latency {
             self.cfg.queue_limit_bytes = latency_queue_bytes(self.cfg.rate_bps, latency);
         }
@@ -194,16 +217,36 @@ impl Link {
         }
     }
 
+    /// Serialization delay of `wire_bytes` at the current rate:
+    /// `floor(bytes × 8e9 / rate)` nanoseconds, computed via the
+    /// precomputed Q32 reciprocal instead of a `u128` division.
+    ///
+    /// The ceiling reciprocal overshoots by strictly less than
+    /// `bytes / 2^32 ≤ 1`, so the candidate is at most `floor + 1` (+1 more
+    /// only at the unreachable `bytes = 2^32` corner); one multiply-compare
+    /// correction per excess unit restores the exact quotient, keeping every
+    /// arrival time bit-identical to the division it replaces.
     fn serialization(&self, wire_bytes: u32) -> Duration {
-        let nanos =
-            (u128::from(wire_bytes) * 8 * 1_000_000_000) / u128::from(self.cfg.rate_bps.max(1));
+        let exact_num = u128::from(wire_bytes) * BIT_NANOS_PER_BYTE;
+        let mut nanos = (u128::from(wire_bytes) * self.recip_q32) >> RECIP_SHIFT;
+        let rate = u128::from(self.cfg.rate_bps.max(1));
+        while nanos * rate > exact_num {
+            nanos -= 1;
+        }
+        debug_assert_eq!(nanos, exact_num / rate);
         Duration::from_nanos(u64::try_from(nanos).unwrap_or(u64::MAX))
     }
 
     /// Offer a packet of `wire_bytes` to the link at time `now`.
     pub fn enqueue(&mut self, now: Time, wire_bytes: u32) -> Verdict {
         self.expire(now);
-        if self.cfg.loss_rate > 0.0 && self.rng.f64() < self.cfg.loss_rate {
+        // Hot path: deterministic links (no loss, no jitter) skip both RNG
+        // branches. The stochastic path below consumes the RNG in exactly
+        // the order the flag-free code did (loss draw first, then jitter),
+        // so seeded verdict sequences are unchanged — see the
+        // `lossy_jittery_verdicts_match_golden` test.
+        if !self.deterministic && self.cfg.loss_rate > 0.0 && self.rng.f64() < self.cfg.loss_rate
+        {
             self.stats.dropped_random += 1;
             return Verdict::DropRandom;
         }
@@ -217,13 +260,11 @@ impl Link {
         self.in_queue.push_back((departure, wire_bytes));
         self.queued_bytes += u64::from(wire_bytes);
 
-        let jitter = if self.cfg.jitter_max > Duration::ZERO {
+        let mut arrival = departure + self.cfg.prop_delay;
+        if !self.deterministic && self.cfg.jitter_max > Duration::ZERO {
             let max = crate::time::dur_nanos(self.cfg.jitter_max);
-            Duration::from_nanos(self.rng.gen_range(0..=max))
-        } else {
-            Duration::ZERO
-        };
-        let mut arrival = departure + self.cfg.prop_delay + jitter;
+            arrival += Duration::from_nanos(self.rng.gen_range(0..=max));
+        }
         // FIFO: never hand out an arrival earlier than a previous one.
         if arrival < self.last_arrival {
             arrival = self.last_arrival;
@@ -337,6 +378,57 @@ mod tests {
                 last = arrival;
             }
         }
+    }
+
+    /// The Q32 reciprocal must reproduce `floor(bytes × 8e9 / rate)`
+    /// exactly — arrival times feed the determinism goldens, so "close"
+    /// is not good enough.
+    #[test]
+    fn reciprocal_serialization_matches_division_exactly() {
+        let rates = [
+            1u64, 3, 7, 999, 300_000, 1_000_000, 8_600_000, 299_999_999, 1_000_000_000,
+            987_654_321_987, u64::MAX,
+        ];
+        let sizes = [0u32, 1, 40, 72, 300, 1499, 1500, 1540, 9000, 65_535, u32::MAX];
+        for &rate in &rates {
+            let mut cfg = LinkConfig::shaped(1.0, Duration::ZERO, u64::MAX);
+            cfg.rate_bps = rate;
+            let l = Link::new(cfg, 0);
+            for &bytes in &sizes {
+                let exact = (u128::from(bytes) * 8 * 1_000_000_000) / u128::from(rate.max(1));
+                let expect = Duration::from_nanos(u64::try_from(exact).unwrap_or(u64::MAX));
+                assert_eq!(l.serialization(bytes), expect, "rate={rate} bytes={bytes}");
+            }
+        }
+    }
+
+    /// Golden digest of the full verdict sequence for a lossy + jittery
+    /// config, captured before the serialization-reciprocal and
+    /// fast-path-hoist changes. Those optimizations must not disturb the
+    /// RNG consumption order or any computed arrival time.
+    #[test]
+    fn lossy_jittery_verdicts_match_golden() {
+        let mut cfg = LinkConfig::shaped(2.5, Duration::from_millis(15), 96 * 1024);
+        cfg.jitter_max = Duration::from_millis(3);
+        cfg.loss_rate = 0.05;
+        let mut l = Link::new(cfg, 2017);
+        let mut d: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut fold = |d: &mut u64, x: u64| {
+            for b in x.to_le_bytes() {
+                *d ^= u64::from(b);
+                *d = d.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        for i in 0..5_000u64 {
+            let v = l.enqueue(Time::from_micros(i * 431), 100 + (i % 1400) as u32);
+            match v {
+                Verdict::Deliver { arrival } => fold(&mut d, arrival.as_nanos()),
+                Verdict::DropQueue => fold(&mut d, u64::MAX - 1),
+                Verdict::DropRandom => fold(&mut d, u64::MAX),
+            }
+        }
+        println!("lossy/jittery verdict digest: {d:#018x}");
+        assert_eq!(d, 0xab2a_a11c_9c46_fcc3);
     }
 
     #[test]

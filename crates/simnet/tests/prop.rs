@@ -5,7 +5,9 @@
 
 use std::time::Duration;
 
-use simnet::{Link, LinkConfig, Time, Verdict};
+use simnet::{
+    DeliveryQueue, Engine, EventQueue, Link, LinkConfig, Model, Time, Verdict,
+};
 use testkit::prop::{check, vec_of};
 
 #[test]
@@ -90,6 +92,144 @@ fn latency_bounded_by_queue_plus_serialization() {
             );
         }
     });
+}
+
+/// Offer schedule shared by both scheduling strategies below:
+/// `(link index, wire bytes)` per offer id, offers pre-scheduled on the heap.
+type Offers = Vec<(usize, u32)>;
+
+fn make_links(mbps: (u32, u32), jitter_ms: u64) -> Vec<Link> {
+    [(mbps.0, 11u64), (mbps.1, 22u64)]
+        .into_iter()
+        .map(|(m, seed)| {
+            let mut cfg =
+                LinkConfig::shaped(f64::from(m), Duration::from_millis(15), 96 * 1024);
+            cfg.jitter_max = Duration::from_millis(jitter_ms);
+            Link::new(cfg, seed)
+        })
+        .collect()
+}
+
+/// Reference semantics: every delivery is its own heap entry.
+struct AllHeap {
+    links: Vec<Link>,
+    offers: Offers,
+    delivered: Vec<(Time, u32)>,
+}
+
+enum RefEv {
+    Offer(u32),
+    Deliver(u32),
+}
+
+impl Model for AllHeap {
+    type Event = RefEv;
+    fn handle(&mut self, now: Time, ev: RefEv, q: &mut EventQueue<RefEv>) {
+        match ev {
+            RefEv::Offer(id) => {
+                let (link, bytes) = self.offers[id as usize];
+                if let Verdict::Deliver { arrival } = self.links[link].enqueue(now, bytes) {
+                    q.schedule(arrival, RefEv::Deliver(id));
+                }
+            }
+            RefEv::Deliver(id) => self.delivered.push((now, id)),
+        }
+    }
+}
+
+/// Coalesced semantics: per-link [`DeliveryQueue`] with one wakeup in the
+/// heap, seqs reserved at the moment the reference would have scheduled.
+struct Coalesced {
+    links: Vec<Link>,
+    inflight: Vec<DeliveryQueue<u32>>,
+    offers: Offers,
+    delivered: Vec<(Time, u32)>,
+}
+
+enum CoalEv {
+    Offer(u32),
+    Wake(u32),
+}
+
+impl Model for Coalesced {
+    type Event = CoalEv;
+    fn handle(&mut self, now: Time, ev: CoalEv, q: &mut EventQueue<CoalEv>) {
+        match ev {
+            CoalEv::Offer(id) => {
+                let (link, bytes) = self.offers[id as usize];
+                if let Verdict::Deliver { arrival } = self.links[link].enqueue(now, bytes) {
+                    let seq = q.reserve_seq();
+                    if let Some((at, s)) = self.inflight[link].push(arrival, seq, id) {
+                        q.schedule_reserved(at, s, CoalEv::Wake(link as u32));
+                    }
+                }
+            }
+            CoalEv::Wake(link) => {
+                if let Some((id, next)) = self.inflight[link as usize].pop() {
+                    if let Some((at, s)) = next {
+                        q.schedule_reserved(at, s, CoalEv::Wake(link));
+                    }
+                    self.delivered.push((now, id));
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn coalesced_delivery_equals_all_heap_scheduling() {
+    // The engine invariant behind mptcp's per-link delivery queues: parking
+    // payloads in a FIFO with reserved seqs must reproduce the exact
+    // (arrival time, payload) sequence of scheduling every delivery
+    // individually — same ties, same interleaving across links, same
+    // total event count.
+    check(
+        96,
+        (
+            (1u32..60, 1u32..60),
+            0u64..4,
+            vec_of((0u64..2_000, 0u32..2, 100u32..1500), 1..250),
+        ),
+        |(mbps, jitter_ms, pattern)| {
+            let offers: Offers = pattern
+                .iter()
+                .map(|&(_, link, bytes)| (link as usize, bytes))
+                .collect();
+            let mut offer_times = Vec::with_capacity(pattern.len());
+            let mut t = Time::ZERO;
+            for &(gap_us, _, _) in &pattern {
+                t += Duration::from_micros(gap_us);
+                offer_times.push(t);
+            }
+
+            let mut reference = Engine::new(AllHeap {
+                links: make_links(mbps, jitter_ms),
+                offers: offers.clone(),
+                delivered: Vec::new(),
+            });
+            for (id, &at) in offer_times.iter().enumerate() {
+                reference.queue_mut().schedule(at, RefEv::Offer(id as u32));
+            }
+            reference.run_to_completion();
+
+            let mut coalesced = Engine::new(Coalesced {
+                links: make_links(mbps, jitter_ms),
+                inflight: (0..2).map(|_| DeliveryQueue::new()).collect(),
+                offers,
+                delivered: Vec::new(),
+            });
+            for (id, &at) in offer_times.iter().enumerate() {
+                coalesced.queue_mut().schedule(at, CoalEv::Offer(id as u32));
+            }
+            coalesced.run_to_completion();
+
+            assert_eq!(
+                reference.model.delivered, coalesced.model.delivered,
+                "coalesced scheduling reordered deliveries"
+            );
+            assert_eq!(reference.processed(), coalesced.processed());
+        },
+    );
 }
 
 #[test]

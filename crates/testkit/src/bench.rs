@@ -11,6 +11,7 @@
 //! iteration: `scripts/verify.sh` uses this to prove the harnesses still
 //! *run* without paying measurement-grade runtime.
 
+use std::sync::{Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 /// Re-export so bench files can use one import path for everything.
@@ -18,6 +19,128 @@ pub use std::hint::black_box;
 
 /// Environment variable that turns benches into 1-iteration smoke runs.
 pub const ENV_SMOKE: &str = "TESTKIT_BENCH_SMOKE";
+
+/// Environment variable naming a file to write machine-readable results to.
+/// When set, `criterion_main!` writes every benchmark's measurements as a
+/// JSON document (see [`write_json_results`]) after all groups have run.
+pub const ENV_JSON: &str = "TESTKIT_BENCH_JSON";
+
+/// Workload size of one benchmark iteration, used to derive rates
+/// (Criterion-shaped; only the variants the workspace needs).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// One iteration processes this many elements (e.g. simulator events);
+    /// results then also report elements per second.
+    Elements(u64),
+}
+
+/// One benchmark's measurements, as recorded for JSON emission.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Full benchmark name ("group/id").
+    pub name: String,
+    /// Median per-iteration wall time, nanoseconds.
+    pub median_ns: f64,
+    /// 95th-percentile per-iteration wall time, nanoseconds.
+    pub p95_ns: f64,
+    /// Number of measured samples.
+    pub samples: usize,
+    /// Iterations batched per sample.
+    pub iters_per_sample: u64,
+    /// Elements processed per iteration, when declared via [`Throughput`].
+    pub elements_per_iter: Option<u64>,
+    /// Derived rate: `elements_per_iter / median`, per second.
+    pub elements_per_sec: Option<f64>,
+    /// True when the run was a 1-iteration smoke pass (timings are noise).
+    pub smoke: bool,
+}
+
+fn results() -> &'static Mutex<Vec<BenchResult>> {
+    static RESULTS: OnceLock<Mutex<Vec<BenchResult>>> = OnceLock::new();
+    RESULTS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+fn record_result(r: BenchResult) {
+    results().lock().expect("bench results lock").push(r);
+}
+
+/// Snapshot of every result recorded so far in this process.
+pub fn recorded_results() -> Vec<BenchResult> {
+    results().lock().expect("bench results lock").clone()
+}
+
+/// If [`ENV_JSON`] is set, write all recorded results there as JSON.
+/// Called by `criterion_main!` once every group has run.
+pub fn write_json_if_requested() {
+    if let Ok(path) = std::env::var(ENV_JSON) {
+        if !path.is_empty() {
+            write_json_results(&path).unwrap_or_else(|e| {
+                eprintln!("bench: failed to write {path}: {e}");
+                std::process::exit(1);
+            });
+        }
+    }
+}
+
+/// Serialize the recorded results to `path`.
+///
+/// Schema (stable; consumed by `BENCH.json` tooling and `scripts/verify.sh`):
+///
+/// ```json
+/// {
+///   "schema": 1,
+///   "smoke": false,
+///   "results": [
+///     {"name": "sim_throughput/streaming_0.3_8.6", "median_ns": 1.0,
+///      "p95_ns": 1.2, "samples": 30, "iters_per_sample": 1,
+///      "elements_per_iter": 100, "elements_per_sec": 1.0e8}
+///   ]
+/// }
+/// ```
+pub fn write_json_results(path: &str) -> std::io::Result<()> {
+    let all = recorded_results();
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema\": 1,\n");
+    out.push_str(&format!("  \"smoke\": {},\n", smoke_mode()));
+    out.push_str("  \"results\": [");
+    for (i, r) in all.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        out.push_str(&format!(
+            "    {{\"name\": {}, \"median_ns\": {:.1}, \"p95_ns\": {:.1}, \
+             \"samples\": {}, \"iters_per_sample\": {}",
+            json_string(&r.name),
+            r.median_ns,
+            r.p95_ns,
+            r.samples,
+            r.iters_per_sample,
+        ));
+        if let (Some(n), Some(rate)) = (r.elements_per_iter, r.elements_per_sec) {
+            out.push_str(&format!(
+                ", \"elements_per_iter\": {n}, \"elements_per_sec\": {rate:.1}"
+            ));
+        }
+        out.push('}');
+    }
+    out.push_str("\n  ]\n}\n");
+    std::fs::write(path, out)
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
 
 /// Target wall-clock time for one measured sample during calibration.
 const TARGET_SAMPLE: Duration = Duration::from_millis(20);
@@ -41,12 +164,17 @@ impl Default for Criterion {
 impl Criterion {
     /// Open a named group of related benchmarks.
     pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
-        BenchmarkGroup { name: name.to_string(), sample_size: self.sample_size, _parent: self }
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: self.sample_size,
+            throughput: None,
+            _parent: self,
+        }
     }
 
     /// Run one stand-alone benchmark.
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
-        run_benchmark(name, self.sample_size, f);
+        run_benchmark(name, self.sample_size, None, f);
         self
     }
 }
@@ -55,6 +183,7 @@ impl Criterion {
 pub struct BenchmarkGroup<'a> {
     name: String,
     sample_size: usize,
+    throughput: Option<Throughput>,
     _parent: &'a mut Criterion,
 }
 
@@ -65,13 +194,20 @@ impl BenchmarkGroup<'_> {
         self
     }
 
+    /// Declare the per-iteration workload of subsequent benchmarks in this
+    /// group, so results also report a rate (e.g. events per second).
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
     /// Run one benchmark within the group.
     pub fn bench_function<S: std::fmt::Display, F: FnMut(&mut Bencher)>(
         &mut self,
         id: S,
         f: F,
     ) -> &mut Self {
-        run_benchmark(&format!("{}/{}", self.name, id), self.sample_size, f);
+        run_benchmark(&format!("{}/{}", self.name, id), self.sample_size, self.throughput, f);
         self
     }
 
@@ -112,7 +248,12 @@ impl Bencher {
     }
 }
 
-fn run_benchmark<F: FnMut(&mut Bencher)>(name: &str, sample_size: usize, mut f: F) {
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    name: &str,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
     if smoke_mode() {
         let mut b = Bencher {
             iters_per_sample: 1,
@@ -121,6 +262,8 @@ fn run_benchmark<F: FnMut(&mut Bencher)>(name: &str, sample_size: usize, mut f: 
             calibrating: false,
         };
         f(&mut b);
+        let median = b.sample_ns.first().copied().unwrap_or(0.0);
+        record_result(make_result(name, median, median, 1, 1, throughput, true));
         println!("bench {name}: ok (smoke, 1 iteration)");
         return;
     }
@@ -149,13 +292,44 @@ fn run_benchmark<F: FnMut(&mut Bencher)>(name: &str, sample_size: usize, mut f: 
     b.sample_ns.sort_by(|a, x| a.partial_cmp(x).expect("finite timings"));
     let median = percentile(&b.sample_ns, 0.50);
     let p95 = percentile(&b.sample_ns, 0.95);
+    let result =
+        make_result(name, median, p95, b.sample_ns.len(), b.iters_per_sample, throughput, false);
+    let rate = match result.elements_per_sec {
+        Some(r) => format!(", {r:.3e} elem/s"),
+        None => String::new(),
+    };
+    record_result(result);
     println!(
-        "bench {name}: median {}, p95 {} ({} samples x {} iters)",
+        "bench {name}: median {}, p95 {} ({} samples x {} iters{rate})",
         fmt_ns(median),
         fmt_ns(p95),
         b.sample_ns.len(),
         b.iters_per_sample,
     );
+}
+
+fn make_result(
+    name: &str,
+    median_ns: f64,
+    p95_ns: f64,
+    samples: usize,
+    iters_per_sample: u64,
+    throughput: Option<Throughput>,
+    smoke: bool,
+) -> BenchResult {
+    let elements_per_iter = throughput.map(|Throughput::Elements(n)| n);
+    let elements_per_sec =
+        elements_per_iter.map(|n| n as f64 / (median_ns.max(1.0) / 1e9));
+    BenchResult {
+        name: name.to_string(),
+        median_ns,
+        p95_ns,
+        samples,
+        iters_per_sample,
+        elements_per_iter,
+        elements_per_sec,
+        smoke,
+    }
 }
 
 /// Nearest-rank percentile over an ascending-sorted slice.
@@ -211,6 +385,7 @@ macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $( $group(); )+
+            $crate::bench::write_json_if_requested();
         }
     };
 }
@@ -246,6 +421,52 @@ mod tests {
         assert_eq!(percentile(&xs, 0.5), 2.0);
         assert_eq!(percentile(&xs, 0.95), 4.0);
         assert_eq!(percentile(&xs, 0.0), 1.0);
+    }
+
+    #[test]
+    fn results_are_recorded_with_throughput() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("jsontest");
+        group.sample_size(2);
+        group.throughput(Throughput::Elements(1000));
+        group.bench_function("spin", |b| b.iter(|| black_box(2 + 2)));
+        group.finish();
+        let rec = recorded_results();
+        let r = rec
+            .iter()
+            .find(|r| r.name == "jsontest/spin")
+            .expect("result recorded");
+        assert_eq!(r.elements_per_iter, Some(1000));
+        let rate = r.elements_per_sec.expect("rate derived");
+        assert!(rate > 0.0 && rate.is_finite());
+    }
+
+    #[test]
+    fn json_output_is_well_formed() {
+        let mut c = Criterion::default();
+        c.benchmark_group("jsonfile").sample_size(2).bench_function("noop", |b| {
+            b.iter(|| black_box(1))
+        });
+        let path = std::env::temp_dir().join("testkit-bench-selftest.json");
+        let path = path.to_str().expect("utf8 temp path");
+        write_json_results(path).expect("write json");
+        let text = std::fs::read_to_string(path).expect("read back");
+        let value = crate::json::parse(&text).expect("parses as JSON");
+        let results = value
+            .get("results")
+            .and_then(|r| r.as_array())
+            .expect("results array");
+        assert!(!results.is_empty());
+        assert_eq!(
+            value.get("schema").and_then(crate::json::Value::as_f64),
+            Some(1.0)
+        );
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn json_string_escapes() {
+        assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\u000ad\"");
     }
 
     #[test]

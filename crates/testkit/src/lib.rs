@@ -18,12 +18,16 @@
 //!   shrinking, and `TESTKIT_SEED=<n>` replay of a failing case.
 //! * [`bench`] — Criterion-lite runner (calibrated batches, median/p95
 //!   report, `TESTKIT_BENCH_SMOKE=1` smoke mode) behind the same
-//!   `criterion_group!`/`criterion_main!` macro surface.
+//!   `criterion_group!`/`criterion_main!` macro surface. With
+//!   `TESTKIT_BENCH_JSON=<path>` set, results are also written as JSON
+//!   (the `BENCH.json` perf-trajectory format).
+//! * [`json`] — a minimal JSON reader used to validate those results.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod bench;
+pub mod json;
 pub mod prop;
 pub mod rng;
 

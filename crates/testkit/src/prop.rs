@@ -210,7 +210,8 @@ impl Gen for std::ops::Range<f64> {
     }
     fn shrink(&self, v: &f64) -> Vec<f64> {
         let lo = self.start;
-        if !(*v > lo) {
+        // NaN (incomparable) must not shrink, same as v <= lo.
+        if v.partial_cmp(&lo) != Some(std::cmp::Ordering::Greater) {
             return Vec::new();
         }
         let mut out = vec![lo];

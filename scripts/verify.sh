@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
-# Standard pre-PR gate: the tier-1 verify plus a smoke run of every bench
-# harness, all fully offline (the hermetic-build policy in DESIGN.md — no
-# crates.io dependency anywhere, so --offline must always succeed).
+# Standard pre-PR gate: the tier-1 verify plus lint, a smoke run of every
+# bench harness, and a shape-check of the machine-readable bench output —
+# all fully offline (the hermetic-build policy in DESIGN.md — no crates.io
+# dependency anywhere, so --offline must always succeed).
 #
 # Usage: scripts/verify.sh
 set -euo pipefail
@@ -13,7 +14,53 @@ cargo build --release --offline
 echo "== tier-1: workspace tests (offline) =="
 cargo test -q --offline --workspace
 
+echo "== lint: clippy, warnings are errors (offline) =="
+cargo clippy --offline --workspace -- -D warnings
+
 echo "== bench harnesses in smoke mode (1 iteration each) =="
 TESTKIT_BENCH_SMOKE=1 cargo bench --offline -p ecf-bench
+
+echo "== sim_throughput smoke + BENCH JSON shape check =="
+tmp_json="$(mktemp /tmp/bench-smoke.XXXXXX.json)"
+trap 'rm -f "$tmp_json"' EXIT
+TESTKIT_BENCH_JSON="$tmp_json" TESTKIT_BENCH_SMOKE=1 \
+    cargo bench --offline -p ecf-bench --bench sim_throughput
+
+check_bench_json() {
+    # $1: path; $2: label. Fails if missing, unparseable, or lacking the
+    # sim_throughput results / required fields.
+    local path="$1" label="$2"
+    if [ ! -s "$path" ]; then
+        echo "verify.sh: $label missing or empty: $path" >&2
+        return 1
+    fi
+    python3 - "$path" "$label" <<'PY'
+import json, sys
+path, label = sys.argv[1], sys.argv[2]
+try:
+    doc = json.load(open(path))
+except Exception as e:
+    sys.exit(f"verify.sh: {label} is not valid JSON: {e}")
+if doc.get("schema") != 1:
+    sys.exit(f"verify.sh: {label}: unexpected schema {doc.get('schema')!r}")
+results = doc.get("results")
+if not isinstance(results, list) or not results:
+    sys.exit(f"verify.sh: {label}: no results array")
+names = {r.get("name") for r in results}
+for want in ("sim_throughput/streaming_0.3_8.6", "sim_throughput/browse_6conn"):
+    if want not in names:
+        sys.exit(f"verify.sh: {label}: missing benchmark {want}")
+for r in results:
+    for field in ("name", "median_ns", "p95_ns", "samples", "iters_per_sample"):
+        if field not in r:
+            sys.exit(f"verify.sh: {label}: result {r.get('name')!r} lacks {field}")
+    if r["name"].startswith("sim_throughput/") and "elements_per_sec" not in r:
+        sys.exit(f"verify.sh: {label}: {r['name']} lacks elements_per_sec")
+print(f"verify.sh: {label}: ok ({len(results)} results)")
+PY
+}
+
+check_bench_json "$tmp_json" "smoke bench JSON"
+check_bench_json "BENCH.json" "committed BENCH.json"
 
 echo "verify.sh: all green"

@@ -1,0 +1,39 @@
+//! The committed `BENCH.json` must stay machine-readable: it is the repo's
+//! tracked simulator-throughput record (written by `testkit::bench` via
+//! `TESTKIT_BENCH_JSON`, shape-checked again by `scripts/verify.sh`). This
+//! test fails if the file goes missing, stops parsing, or loses the two
+//! tracked scenarios.
+
+use testkit::json::{self, Value};
+
+const TRACKED: &[&str] = &["sim_throughput/streaming_0.3_8.6", "sim_throughput/browse_6conn"];
+
+#[test]
+fn committed_bench_json_parses_and_has_tracked_scenarios() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH.json");
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("BENCH.json must be committed at the repo root: {e}"));
+    let doc = json::parse(&text).expect("BENCH.json parses as JSON");
+
+    assert_eq!(doc.get("schema").and_then(Value::as_f64), Some(1.0), "schema version");
+    assert_eq!(
+        doc.get("smoke"),
+        Some(&Value::Bool(false)),
+        "committed numbers must come from a real measurement run, not smoke mode"
+    );
+
+    let results = doc.get("results").and_then(Value::as_array).expect("results array");
+    for want in TRACKED {
+        let r = results
+            .iter()
+            .find(|r| r.get("name").and_then(Value::as_str) == Some(want))
+            .unwrap_or_else(|| panic!("missing tracked benchmark {want}"));
+        for field in ["median_ns", "p95_ns", "samples", "iters_per_sample", "elements_per_sec"] {
+            let v = r
+                .get(field)
+                .and_then(Value::as_f64)
+                .unwrap_or_else(|| panic!("{want} lacks numeric field {field}"));
+            assert!(v > 0.0 && v.is_finite(), "{want}.{field} = {v} must be positive");
+        }
+    }
+}
