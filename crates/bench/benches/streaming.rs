@@ -5,7 +5,8 @@ use testkit::bench::{criterion_group, criterion_main, Criterion};
 use ecf_bench::{bench_streaming, HETERO, SYMMETRIC};
 use ecf_core::SchedulerKind;
 use experiments::{run_streaming, StreamingConfig, VARIABLE_BW_SET};
-use simnet::{RateSchedule, Time};
+use scenario::Scenario;
+use simnet::Time;
 
 fn bench_fig2_fig9(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig9_bitrate_ratio_cell");
@@ -117,11 +118,13 @@ fn bench_fig16_fig17_variable_bw(c: &mut Criterion) {
     for kind in [SchedulerKind::Default, SchedulerKind::Ecf] {
         group.bench_function(kind.label(), |b| {
             b.iter(|| {
-                let wifi = RateSchedule::random(12, std::time::Duration::from_secs(40), &VARIABLE_BW_SET, horizon);
-                let lte = RateSchedule::random(13, std::time::Duration::from_secs(40), &VARIABLE_BW_SET, horizon);
+                let mean = std::time::Duration::from_secs(40);
+                let dynamics = Scenario::new()
+                    .random_rates(0, 12, mean, &VARIABLE_BW_SET, horizon)
+                    .random_rates(1, 13, mean, &VARIABLE_BW_SET, horizon);
                 run_streaming(&StreamingConfig {
                     video_secs: 30.0,
-                    rate_schedules: Some((wifi, lte)),
+                    scenario: Some(dynamics),
                     ..StreamingConfig::new(1.7, 1.7, kind, 6)
                 })
                 .chunk_throughputs

@@ -152,6 +152,7 @@ pub fn extension_sttf(effort: Effort) -> String {
 fn run_streaming_with_conn(cfg: &StreamingConfig, conn_cfg: mptcp::ConnConfig) -> f64 {
     use dash::{DashApp, PlayerConfig};
     use mptcp::{ConnSpec, Testbed, TestbedConfig};
+    use scenario::Scenario;
     use simnet::{PathConfig, Time};
     let tb_cfg = TestbedConfig {
         paths: vec![PathConfig::wifi(cfg.wifi_mbps), PathConfig::lte(cfg.lte_mbps)],
@@ -163,9 +164,7 @@ fn run_streaming_with_conn(cfg: &StreamingConfig, conn_cfg: mptcp::ConnConfig) -
         }],
         seed: cfg.seed,
         recorder: cfg.recorder,
-        rate_schedules: Vec::new(),
-        delay_schedules: Vec::new(),
-        path_events: Vec::new(),
+        scenario: Scenario::default(),
     };
     let player = PlayerConfig { video_secs: cfg.video_secs, ..PlayerConfig::default() };
     let mut tb = Testbed::new(tb_cfg, DashApp::new(player, 0));

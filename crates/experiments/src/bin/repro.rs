@@ -1,12 +1,13 @@
 //! `repro` — regenerate any table or figure of the paper.
 //!
 //! ```text
-//! repro <id> [--quick]     one experiment (fig9, tab3, ...)
-//! repro all [--quick]      everything, in paper order
-//! repro list               show available ids
+//! repro <id> [--quick] [--no-save]   one experiment (fig9, tab3, ...)
+//! repro all [--quick] [--no-save]    everything, in paper order
+//! repro list                         show available ids
 //! ```
 //!
-//! Reports go to stdout and `results/<id>.txt`.
+//! Reports go to stdout and `results/<id>.txt`; `--no-save` skips the
+//! file so smoke runs don't overwrite committed full-effort results.
 
 use std::io::Write;
 
@@ -15,6 +16,7 @@ use experiments::{find, registry, Effort};
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
+    let save = !args.iter().any(|a| a == "--no-save");
     let effort = if quick { Effort::Quick } else { Effort::Full };
     let target = args.iter().find(|a| !a.starts_with("--")).cloned();
 
@@ -33,11 +35,11 @@ fn main() {
                 if !seen.insert(e.run as usize) {
                     continue;
                 }
-                run_one(&e, effort);
+                run_one(&e, effort, save);
             }
         }
         Some(id) => match find(id) {
-            Some(e) => run_one(&e, effort),
+            Some(e) => run_one(&e, effort, save),
             None => {
                 eprintln!("unknown experiment '{id}'; try `repro list`");
                 std::process::exit(1);
@@ -46,12 +48,15 @@ fn main() {
     }
 }
 
-fn run_one(e: &experiments::Experiment, effort: Effort) {
+fn run_one(e: &experiments::Experiment, effort: Effort, save: bool) {
     let started = std::time::Instant::now();
     eprintln!("== running {} ({}) ==", e.id, e.title);
     let report = (e.run)(effort);
     println!("{report}");
     eprintln!("== {} done in {:.1}s ==\n", e.id, started.elapsed().as_secs_f64());
+    if !save {
+        return;
+    }
     if let Err(err) = std::fs::create_dir_all("results")
         .and_then(|_| std::fs::File::create(format!("results/{}.txt", e.id)))
         .and_then(|mut f| f.write_all(report.as_bytes()))

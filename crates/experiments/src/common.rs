@@ -6,7 +6,8 @@ use std::time::Duration;
 use dash::{DashApp, PlayerConfig};
 use ecf_core::SchedulerKind;
 use mptcp::{ConnConfig, ConnSpec, RecorderConfig, Testbed, TestbedConfig};
-use simnet::{PathConfig, RateSchedule, Time};
+use scenario::{Action, ControlEvent, Process, Scenario};
+use simnet::{PathConfig, Time};
 use webload::{BrowserApp, PageModel, WgetApp};
 
 /// The paper's §3.1 regulated bandwidth set (Mbps), one step above each
@@ -132,8 +133,11 @@ pub struct StreamingConfig {
     /// Subflows per interface (1 = the usual 2-subflow setup; 2 = Fig 15's
     /// four subflows, each shaped to half the interface rate).
     pub subflows_per_interface: usize,
-    /// Optional §5.3 bandwidth schedules for (wifi, lte).
-    pub rate_schedules: Option<(RateSchedule, RateSchedule)>,
+    /// Optional network dynamics, written in *interface* space: path 0 is
+    /// the WiFi interface, path 1 LTE. [`run_streaming`] expands it to the
+    /// actual subflow paths (splitting rates across subflows when
+    /// `subflows_per_interface > 1`).
+    pub scenario: Option<Scenario>,
 }
 
 impl StreamingConfig {
@@ -148,7 +152,7 @@ impl StreamingConfig {
             recorder: RecorderConfig::default(),
             cwnd_conservation: true,
             subflows_per_interface: 1,
-            rate_schedules: None,
+            scenario: None,
         }
     }
 }
@@ -196,13 +200,10 @@ pub fn run_streaming(cfg: &StreamingConfig) -> StreamingOutcome {
     let mut conn_cfg = ConnConfig::default();
     conn_cfg.tcp.idle_reset = cfg.cwnd_conservation;
 
-    let mut rate_schedules = Vec::new();
-    if let Some((wifi_sched, lte_sched)) = &cfg.rate_schedules {
-        for p in 0..per_if {
-            rate_schedules.push((p, scale_schedule(wifi_sched, per_if)));
-            rate_schedules.push((per_if + p, scale_schedule(lte_sched, per_if)));
-        }
-    }
+    let scenario = match &cfg.scenario {
+        Some(s) => expand_interface_scenario(s, per_if),
+        None => Scenario::default(),
+    };
 
     let tb_cfg = TestbedConfig {
         paths,
@@ -214,9 +215,7 @@ pub fn run_streaming(cfg: &StreamingConfig) -> StreamingOutcome {
         }],
         seed: cfg.seed,
         recorder: cfg.recorder,
-        rate_schedules,
-        delay_schedules: Vec::new(),
-        path_events: Vec::new(),
+        scenario,
     };
     let player = PlayerConfig { video_secs: cfg.video_secs, ..PlayerConfig::default() };
     let mut tb = Testbed::new(tb_cfg, DashApp::new(player, 0));
@@ -273,10 +272,40 @@ pub fn run_streaming(cfg: &StreamingConfig) -> StreamingOutcome {
     }
 }
 
-fn scale_schedule(s: &RateSchedule, per_if: usize) -> RateSchedule {
-    RateSchedule {
-        changes: s.changes.iter().map(|&(t, bps)| (t, bps / per_if as u64)).collect(),
+/// Expand an interface-space scenario (path 0 = WiFi, 1 = LTE) onto the
+/// actual subflow paths: interface `i` maps to paths `i*per_if..(i+1)*per_if`
+/// and rate actions are split evenly across the interface's subflows, so the
+/// interface-level bandwidth matches the scenario regardless of topology.
+fn expand_interface_scenario(s: &Scenario, per_if: usize) -> Scenario {
+    if per_if == 1 {
+        return s.clone();
     }
+    let mut out = Scenario::default();
+    for ev in &s.events {
+        for k in 0..per_if {
+            let action = match ev.action {
+                Action::RateBps(bps) => Action::RateBps(bps / per_if as u64),
+                other => other,
+            };
+            out.events.push(ControlEvent { at: ev.at, path: ev.path * per_if + k, action });
+        }
+    }
+    for p in &s.processes {
+        match p {
+            Process::RandomRates { path, seed, mean_interval, rates_mbps, horizon } => {
+                for k in 0..per_if {
+                    out.processes.push(Process::RandomRates {
+                        path: path * per_if + k,
+                        seed: *seed,
+                        mean_interval: *mean_interval,
+                        rates_mbps: rates_mbps.iter().map(|r| r / per_if as f64).collect(),
+                        horizon: *horizon,
+                    });
+                }
+            }
+        }
+    }
+    out
 }
 
 /// One `wget`-style download; returns completion seconds and the testbed.
@@ -319,9 +348,7 @@ pub fn run_browse(
         conns,
         seed,
         recorder: RecorderConfig::default(),
-        rate_schedules: Vec::new(),
-        delay_schedules: Vec::new(),
-        path_events: Vec::new(),
+        scenario: Scenario::default(),
     };
     // The page content is fixed across runs/schedulers (seed 2014).
     let mut tb = Testbed::new(cfg, BrowserApp::new(PageModel::cnn_like(2014), 6));

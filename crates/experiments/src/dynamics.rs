@@ -1,0 +1,218 @@
+//! Dynamic-network experiments built on the `scenario` engine: handover
+//! blackouts and bursty wireless loss. These probe the regimes the paper
+//! motivates but could only exercise statically in §5 — scheduler rankings
+//! under *changing* networks, where ECF's send-buffer-aware path choice
+//! has to keep re-learning which path is worth waiting for.
+
+use ecf_core::SchedulerKind;
+use metrics::render_table;
+use scenario::{GilbertElliott, LossModel, Scenario};
+use simnet::Time;
+
+use crate::common::{parallel_map, run_streaming, Effort, StreamingConfig};
+
+/// WiFi rate for the dynamic runs (slow but low-RTT — the paper's
+/// congested café AP that minRTT over-trusts).
+const WIFI_MBPS: f64 = 1.7;
+/// LTE rate (fast, higher RTT — carries most of the goodput).
+const LTE_MBPS: f64 = 8.6;
+
+const KINDS: [SchedulerKind; 3] =
+    [SchedulerKind::Default, SchedulerKind::Blest, SchedulerKind::Ecf];
+
+/// Periodic LTE blackouts: every 60 s starting at t=30 s the LTE
+/// interface goes dark for `outage_secs`, modelling repeated cell-edge
+/// dropouts over a long session. `0` means no outages (static baseline).
+fn handover_scenario(outage_secs: u64, wall_horizon_secs: u64) -> Scenario {
+    let mut s = Scenario::new();
+    if outage_secs == 0 {
+        return s;
+    }
+    let mut t = 30u64;
+    while t + outage_secs < wall_horizon_secs {
+        s = s.outage(1, Time::from_secs(t), Time::from_secs(t + outage_secs));
+        t += 60;
+    }
+    s
+}
+
+/// `dyn_handover`: streaming bitrate across a ladder of LTE-outage
+/// durations. Losing the fast LTE path collapses capacity onto the slow
+/// WiFi AP; in the static phases ECF refuses to strand chunk tails on
+/// slow WiFi (minRTT's favourite), and after each recovery it
+/// re-aggregates the returning fast path sooner than minRTT does.
+pub fn dyn_handover(effort: Effort) -> String {
+    let ladder: &[u64] = match effort {
+        Effort::Full => &[0, 2, 5, 10, 20, 40],
+        Effort::Quick => &[0, 2, 5, 10],
+    };
+    let video = effort.video_secs();
+    // Generate outage cycles across the whole possible run, matching the
+    // run_streaming horizon; late events on a finished run are harmless.
+    let wall_horizon = (video * 30.0) as u64 + 300;
+    let seeds = effort.seeds();
+
+    let work: Vec<(u64, SchedulerKind, u64)> = ladder
+        .iter()
+        .flat_map(|&d| {
+            KINDS
+                .iter()
+                .flat_map(move |&k| (0..seeds).map(move |s| (d, k, 100 + s)))
+        })
+        .collect();
+    let bitrates = parallel_map(work, |(outage, kind, seed)| {
+        let out = run_streaming(&StreamingConfig {
+            video_secs: video,
+            scenario: Some(handover_scenario(outage, wall_horizon)),
+            ..StreamingConfig::new(WIFI_MBPS, LTE_MBPS, kind, seed)
+        });
+        out.avg_bitrate
+    });
+
+    let mut s = String::from(
+        "dyn_handover: streaming bitrate under periodic LTE blackouts\n\
+         (1.7 Mbps WiFi + 8.6 Mbps LTE; LTE dark for the given duration\n\
+          every 60 s; mean encoded bitrate in Mbps, higher is better)\n\n",
+    );
+    let mut rows = Vec::new();
+    let per_cell = seeds as usize;
+    for (di, &d) in ladder.iter().enumerate() {
+        let mut row = vec![format!("{d}")];
+        for ki in 0..KINDS.len() {
+            let base = (di * KINDS.len() + ki) * per_cell;
+            let mean = metrics::mean(&bitrates[base..base + per_cell]);
+            row.push(format!("{mean:.3}"));
+        }
+        rows.push(row);
+    }
+    s.push_str(&render_table(&["outage_s", "default", "blest", "ecf"], &rows));
+    let col_mean = |ki: usize| {
+        let vals: Vec<f64> = (0..ladder.len())
+            .flat_map(|di| {
+                let base = (di * KINDS.len() + ki) * per_cell;
+                bitrates[base..base + per_cell].to_vec()
+            })
+            .collect();
+        metrics::mean(&vals)
+    };
+    s.push_str(&format!(
+        "\nladder means: default={:.3}  blest={:.3}  ecf={:.3} Mbps\n",
+        col_mean(0),
+        col_mean(1),
+        col_mean(2)
+    ));
+    s
+}
+
+/// `dyn_burstloss`: streaming throughput with Gilbert–Elliott bursty loss
+/// on the fast (LTE) path — the cell-edge regime. Sweeps average loss at
+/// a fixed burst length, then burst length at fixed average loss:
+/// independent-loss results do not predict the bursty column.
+pub fn dyn_burstloss(effort: Effort) -> String {
+    let video = effort.video_secs();
+    let seeds = effort.seeds();
+    let loss_ladder: [f64; 5] = [0.0, 0.005, 0.01, 0.02, 0.04];
+    const MEAN_BURST: f64 = 8.0;
+    let burst_ladder: [f64; 4] = [1.0, 4.0, 16.0, 64.0];
+    const FIXED_LOSS: f64 = 0.01;
+
+    // Interface 1 (fast LTE) carries the loss process from t=0.
+    let lossy = |avg: f64, burst: f64| {
+        if avg <= 0.0 {
+            return Scenario::new();
+        }
+        Scenario::new().loss(
+            Time::ZERO,
+            1,
+            LossModel::GilbertElliott(GilbertElliott::bursty(avg, burst)),
+        )
+    };
+
+    let run = |dynamics: Scenario, kind: SchedulerKind, seed: u64| {
+        run_streaming(&StreamingConfig {
+            video_secs: video,
+            scenario: Some(dynamics),
+            ..StreamingConfig::new(WIFI_MBPS, LTE_MBPS, kind, seed)
+        })
+        .avg_throughput
+    };
+
+    let sweep_work: Vec<(f64, SchedulerKind, u64)> = loss_ladder
+        .iter()
+        .flat_map(|&l| {
+            KINDS
+                .iter()
+                .flat_map(move |&k| (0..seeds).map(move |s| (l, k, 200 + s)))
+        })
+        .collect();
+    let sweep = parallel_map(sweep_work, |(loss, kind, seed)| {
+        run(lossy(loss, MEAN_BURST), kind, seed)
+    });
+
+    let burst_work: Vec<(f64, SchedulerKind, u64)> = burst_ladder
+        .iter()
+        .flat_map(|&bl| {
+            KINDS
+                .iter()
+                .flat_map(move |&k| (0..seeds).map(move |s| (bl, k, 300 + s)))
+        })
+        .collect();
+    let bursts = parallel_map(burst_work, |(burst, kind, seed)| {
+        run(lossy(FIXED_LOSS, burst), kind, seed)
+    });
+
+    let per_cell = seeds as usize;
+    let table = |values: &[f64], ladder_len: usize, label: &dyn Fn(usize) -> String| {
+        let mut rows = Vec::new();
+        for li in 0..ladder_len {
+            let mut row = vec![label(li)];
+            for ki in 0..KINDS.len() {
+                let base = (li * KINDS.len() + ki) * per_cell;
+                row.push(format!("{:.3}", metrics::mean(&values[base..base + per_cell])));
+            }
+            rows.push(row);
+        }
+        rows
+    };
+
+    let mut s = String::from(
+        "dyn_burstloss: streaming throughput under bursty LTE loss\n\
+         (1.7 Mbps WiFi + 8.6 Mbps LTE; Gilbert-Elliott two-state loss on\n\
+          the LTE forward link; mean chunk throughput in Mbps)\n\n\
+         Sweep 1: average loss at mean burst length 8 packets\n",
+    );
+    s.push_str(&render_table(
+        &["avg_loss_%", "default", "blest", "ecf"],
+        &table(&sweep, loss_ladder.len(), &|li| {
+            format!("{:.1}", loss_ladder[li] * 100.0)
+        }),
+    ));
+    s.push_str("\nSweep 2: burst length at fixed 1% average loss\n");
+    s.push_str(&render_table(
+        &["mean_burst_pkts", "default", "blest", "ecf"],
+        &table(&bursts, burst_ladder.len(), &|li| {
+            format!("{:.0}", burst_ladder[li])
+        }),
+    ));
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handover_scenario_cycles_until_horizon() {
+        let s = handover_scenario(10, 200);
+        // Cycles at 30, 90, 150 (210 would overrun): 3 outages = 6 events.
+        assert_eq!(s.compile().len(), 6);
+        assert!(handover_scenario(0, 200).is_static());
+    }
+
+    #[test]
+    fn dynamic_experiments_are_deterministic() {
+        // Same effort ⇒ byte-identical report (the acceptance criterion
+        // behind committing results/dyn_*.txt).
+        assert_eq!(dyn_handover(Effort::Quick), dyn_handover(Effort::Quick));
+    }
+}

@@ -17,6 +17,7 @@
 pub mod ablations;
 pub mod common;
 pub mod downloads;
+pub mod dynamics;
 pub mod streaming;
 pub mod web;
 pub mod wild;
@@ -68,6 +69,8 @@ pub fn registry() -> Vec<Experiment> {
         Experiment { id: "ablation_components", title: "Ablation: δ & 2nd inequality", run: ablations::ablation_components },
         Experiment { id: "ablation_cc", title: "Ablation: congestion controllers", run: ablations::ablation_cc },
         Experiment { id: "extension_sttf", title: "Extension: STTF vs ECF", run: ablations::extension_sttf },
+        Experiment { id: "dyn_handover", title: "Dynamics: periodic LTE blackout ladder", run: dynamics::dyn_handover },
+        Experiment { id: "dyn_burstloss", title: "Dynamics: bursty LTE loss sweep", run: dynamics::dyn_burstloss },
     ]
 }
 
@@ -86,7 +89,8 @@ mod tests {
         for required in [
             "tab1", "tab2", "tab3", "tab4", "fig1", "fig2", "fig3", "fig5", "fig6", "fig7",
             "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17",
-            "fig18", "fig19", "fig20", "fig21", "fig22", "fig23",
+            "fig18", "fig19", "fig20", "fig21", "fig22", "fig23", "dyn_handover",
+            "dyn_burstloss",
         ] {
             assert!(ids.contains(&required), "missing {required}");
         }

@@ -4,7 +4,8 @@
 use ecf_core::SchedulerKind;
 use metrics::{render_table, Cdf, Heatmap};
 use mptcp::RecorderConfig;
-use simnet::{RateSchedule, Time};
+use scenario::Scenario;
+use simnet::Time;
 
 use crate::common::{
     fmt_bw, parallel_map, run_streaming, secs, Effort, StreamingConfig, StreamingOutcome, BW_SET,
@@ -402,11 +403,14 @@ pub fn fig16(effort: Effort) -> String {
     let work: Vec<(u64, SchedulerKind)> =
         (1..=10u64).flat_map(|sc| kinds.iter().map(move |&k| (sc, k))).collect();
     let tps = parallel_map(work.clone(), |(scenario, kind)| {
-        let wifi = RateSchedule::random(scenario * 2, secs(40), &VARIABLE_BW_SET, horizon);
-        let lte = RateSchedule::random(scenario * 2 + 1, secs(40), &VARIABLE_BW_SET, horizon);
+        // Interface-space scenario: WiFi (0) and LTE (1) each walk the
+        // §5.3 random-rate process under their historical seeds.
+        let dynamics = Scenario::new()
+            .random_rates(0, scenario * 2, secs(40), &VARIABLE_BW_SET, horizon)
+            .random_rates(1, scenario * 2 + 1, secs(40), &VARIABLE_BW_SET, horizon);
         let out = run_streaming(&StreamingConfig {
             video_secs: effort.video_secs(),
-            rate_schedules: Some((wifi, lte)),
+            scenario: Some(dynamics),
             // Start mid-range; the schedules take over immediately.
             ..StreamingConfig::new(1.7, 1.7, kind, scenario)
         });
@@ -438,11 +442,12 @@ pub fn fig16(effort: Effort) -> String {
 pub fn fig17(effort: Effort) -> String {
     let horizon = Time::from_secs((effort.video_secs() * 4.0) as u64 + 300);
     let traces = parallel_map(vec![SchedulerKind::Default, SchedulerKind::Ecf], |kind| {
-        let wifi = RateSchedule::random(12, secs(40), &VARIABLE_BW_SET, horizon);
-        let lte = RateSchedule::random(13, secs(40), &VARIABLE_BW_SET, horizon);
+        let dynamics = Scenario::new()
+            .random_rates(0, 12, secs(40), &VARIABLE_BW_SET, horizon)
+            .random_rates(1, 13, secs(40), &VARIABLE_BW_SET, horizon);
         run_streaming(&StreamingConfig {
             video_secs: effort.video_secs(),
-            rate_schedules: Some((wifi, lte)),
+            scenario: Some(dynamics),
             ..StreamingConfig::new(1.7, 1.7, kind, 6)
         })
         .chunk_throughputs

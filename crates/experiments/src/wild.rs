@@ -12,6 +12,7 @@ use dash::{DashApp, PlayerConfig};
 use ecf_core::SchedulerKind;
 use metrics::{render_table, Cdf};
 use mptcp::{ConnConfig, ConnSpec, RecorderConfig, Testbed, TestbedConfig};
+use scenario::Scenario;
 use testkit::Rng;
 use simnet::{PathConfig, Time};
 use webload::{BrowserApp, PageModel};
@@ -47,14 +48,14 @@ fn wild_testbed(
     lte.fwd.jitter_max = Duration::from_millis(5);
 
     // WiFi delay random walk: ±25% steps every ~5 s.
-    let mut delays = Vec::new();
+    let mut dynamics = Scenario::new();
     let mut t = Time::from_secs(5);
     let base_us = (wifi_rtt / 2).as_micros() as f64;
     let mut cur = base_us;
     while t < horizon {
         let step: f64 = rng.gen_range(-0.25..0.25);
         cur = (cur * (1.0 + step)).clamp(base_us * 0.5, base_us * 2.0);
-        delays.push((t, Duration::from_micros(cur as u64)));
+        dynamics = dynamics.one_way_delay(t, 0, Duration::from_micros(cur as u64));
         t += Duration::from_secs(5);
     }
 
@@ -68,9 +69,7 @@ fn wild_testbed(
         }],
         seed,
         recorder: RecorderConfig::default(),
-        rate_schedules: Vec::new(),
-        delay_schedules: vec![(0, delays)],
-        path_events: Vec::new(),
+        scenario: dynamics,
     }
 }
 
@@ -219,7 +218,8 @@ mod tests {
         let a = wild_testbed(3, SchedulerKind::Ecf, 9, h);
         let b = wild_testbed(3, SchedulerKind::Ecf, 9, h);
         assert_eq!(a.paths[0].fwd.rate_bps, b.paths[0].fwd.rate_bps);
-        assert_eq!(a.delay_schedules[0].1, b.delay_schedules[0].1);
+        assert_eq!(a.scenario.compile(), b.scenario.compile());
+        assert!(!a.scenario.is_static(), "wild runs must drift the WiFi delay");
         // Different run index → different WiFi RTT.
         let c = wild_testbed(8, SchedulerKind::Ecf, 9, h);
         assert!(c.paths[0].base_rtt() > a.paths[0].base_rtt());

@@ -17,6 +17,7 @@
 
 use ecf_core::SchedulerKind;
 use experiments::{run_browse, run_streaming, StreamingConfig};
+use scenario::Scenario;
 
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
@@ -35,8 +36,13 @@ fn fold_f64(acc: &mut u64, x: f64) {
 
 /// Digest every deterministic observable of one streaming run.
 fn streaming_digest(seed: u64) -> u64 {
+    streaming_digest_with(seed, None)
+}
+
+fn streaming_digest_with(seed: u64, scenario: Option<Scenario>) -> u64 {
     let out = run_streaming(&StreamingConfig {
         video_secs: 30.0,
+        scenario,
         ..StreamingConfig::new(0.3, 8.6, SchedulerKind::Ecf, seed)
     });
     let mut d = FNV_OFFSET;
@@ -106,6 +112,16 @@ fn streaming_seed_2014_is_bit_identical() {
     let d = streaming_digest(2014);
     println!("streaming seed 2014 digest: {d:#018x}");
     assert_eq!(d, GOLDEN_STREAMING_SEED_2014);
+}
+
+#[test]
+fn explicit_static_scenario_leaves_digest_unchanged() {
+    // Wiring an all-static `Scenario` through the testbed must compile to
+    // zero control events and therefore the exact event stream — same
+    // `(time, seq)` keys, same digest — as passing no scenario at all.
+    let s = Scenario::new();
+    assert!(s.is_static());
+    assert_eq!(streaming_digest_with(1, Some(s)), GOLDEN_STREAMING_SEED_1);
 }
 
 #[test]

@@ -11,9 +11,9 @@
 use std::time::Duration;
 
 use ecf_core::SchedulerKind;
+use scenario::{Action, ControlEvent, Scenario};
 use simnet::{
-    DeliveryQueue, Engine, EventQueue, Model, Path, PathConfig, RateSchedule, RunOutcome, Time,
-    Verdict,
+    DeliveryQueue, Engine, EventQueue, Model, Path, PathConfig, RunOutcome, Time, Verdict,
 };
 use tcp_model::{wire_size, MSS};
 
@@ -72,26 +72,13 @@ pub enum Event {
         /// Opaque token the application chose.
         token: u64,
     },
-    /// A path's shaped (forward) rate changes.
-    RateChange {
-        /// Path index.
-        path: u32,
-        /// New rate, bits per second.
-        bps: u64,
-    },
-    /// A path goes down or comes back (handover, radio loss).
-    PathState {
-        /// Path index.
-        path: u32,
-        /// True = up, false = down.
-        up: bool,
-    },
-    /// A path's one-way propagation delay changes (wild RTT drift).
-    DelayChange {
-        /// Path index.
-        path: u32,
-        /// New one-way delay in microseconds.
-        one_way_us: u64,
+    /// A scenario control event fires: `idx` indexes the compiled
+    /// [`ControlEvent`] table held in [`World`]. Keeping the payload out
+    /// of the heap keeps this variant pointer-sized even for fat actions
+    /// (a Gilbert–Elliott loss model is four `f64`s).
+    Control {
+        /// Index into `World::controls`.
+        idx: u32,
     },
     /// Periodic trace sampling tick.
     Sample,
@@ -170,12 +157,10 @@ pub struct TestbedConfig {
     pub seed: u64,
     /// What to record.
     pub recorder: RecorderConfig,
-    /// Forward-rate schedules, `(path index, schedule)` (§5.3 experiments).
-    pub rate_schedules: Vec<(usize, RateSchedule)>,
-    /// One-way delay schedules (in-the-wild experiments).
-    pub delay_schedules: Vec<(usize, Vec<(Time, Duration)>)>,
-    /// Path up/down events (handover scenarios): `(when, path, up)`.
-    pub path_events: Vec<(Time, usize, bool)>,
+    /// Network dynamics for the run: rate/delay traces, stochastic rate
+    /// walks, loss-model swaps, and path outages. The default (empty)
+    /// scenario is a fully static network.
+    pub scenario: Scenario,
 }
 
 impl TestbedConfig {
@@ -191,9 +176,7 @@ impl TestbedConfig {
             conns: vec![ConnSpec::new(scheduler, vec![0, 1])],
             seed,
             recorder: RecorderConfig::default(),
-            rate_schedules: Vec::new(),
-            delay_schedules: Vec::new(),
-            path_events: Vec::new(),
+            scenario: Scenario::default(),
         }
     }
 }
@@ -220,6 +203,9 @@ pub struct World {
     fwd_inflight: Vec<DeliveryQueue<LinkPayload>>,
     /// In-flight ACKs/requests per path (reverse direction), head-scheduled.
     rev_inflight: Vec<DeliveryQueue<LinkPayload>>,
+    /// Compiled scenario events, indexed by [`Event::Control`]. The heap
+    /// carries only the index; the fat action payload lives here.
+    controls: Vec<ControlEvent>,
     /// Scratch transmission plan reused across send opportunities.
     plan_buf: Vec<Transmission>,
     /// Scratch delivery list reused across data arrivals.
@@ -300,6 +286,7 @@ impl World {
             // slots; pre-sizing keeps the steady state reallocation-free.
             fwd_inflight: (0..n_paths).map(|_| DeliveryQueue::with_capacity(512)).collect(),
             rev_inflight: (0..n_paths).map(|_| DeliveryQueue::with_capacity(512)).collect(),
+            controls: cfg.scenario.compile(),
             plan_buf: Vec::with_capacity(64),
             delivered_buf: Vec::with_capacity(64),
             completed_buf: Vec::with_capacity(8),
@@ -563,6 +550,21 @@ impl World {
         self.arm_rto(conn, sub, q);
     }
 
+    /// Apply a compiled scenario event: rate and delay changes act on the
+    /// links directly; liveness changes run the full subflow up/down
+    /// machinery; loss swaps install the new model on the forward link.
+    fn apply_control(&mut self, now: Time, ev: ControlEvent, q: &mut EventQueue<Event>) {
+        match ev.action {
+            Action::RateBps(bps) => self.paths[ev.path].fwd.set_rate_bps(bps),
+            Action::OneWayDelay(d) => {
+                self.paths[ev.path].fwd.set_prop_delay(d);
+                self.paths[ev.path].rev.set_prop_delay(d);
+            }
+            Action::PathUp(up) => self.on_path_state(now, ev.path, up, q),
+            Action::Loss(model) => self.paths[ev.path].fwd.set_loss_model(model),
+        }
+    }
+
     fn on_path_state(&mut self, now: Time, path: usize, up: bool, q: &mut EventQueue<Event>) {
         self.path_up[path] = up;
         for c in 0..self.conns.len() {
@@ -678,16 +680,18 @@ impl<A: Application> Model for Sim<A> {
             Event::Rto { conn, sub } => {
                 self.world.on_rto(now, conn as usize, usize::from(sub), q);
             }
-            Event::PathState { path, up } => {
-                self.world.on_path_state(now, path as usize, up, q);
-            }
-            Event::RateChange { path, bps } => {
-                self.world.paths[path as usize].fwd.set_rate_bps(bps);
-            }
-            Event::DelayChange { path, one_way_us } => {
-                let d = Duration::from_micros(one_way_us);
-                self.world.paths[path as usize].fwd.set_prop_delay(d);
-                self.world.paths[path as usize].rev.set_prop_delay(d);
+            Event::Control { idx } => {
+                let ev = self.world.controls[idx as usize];
+                self.world.apply_control(now, ev, q);
+                // Chain-schedule the successor instead of pre-loading every
+                // control into the heap: compiled controls are time-sorted,
+                // so this fires them in the same order while keeping the
+                // heap at most one control deep (far-future controls would
+                // otherwise tax every heap op for the whole run).
+                let next = idx as usize + 1;
+                if let Some(n) = self.world.controls.get(next) {
+                    q.schedule(n.at, Event::Control { idx: next as u32 });
+                }
             }
             Event::Sample => {
                 self.world.record_samples(now);
@@ -706,35 +710,19 @@ pub struct Testbed<A: Application> {
 
 impl<A: Application> Testbed<A> {
     /// Build the world from `cfg`, install `app`, and schedule the start
-    /// event plus any rate/delay schedules.
+    /// event plus the compiled scenario's first control event (each
+    /// control chain-schedules its successor when it fires).
     pub fn new(mut cfg: TestbedConfig, app: A) -> Self {
         let world = World::build(&mut cfg);
         let sampling = world.sampling;
+        let first_control = world.controls.first().map(|e| e.at);
         let mut engine = Engine::new(Sim { world, app });
         engine.queue_mut().schedule(Time::ZERO, Event::AppStart);
         if sampling {
             engine.queue_mut().schedule(Time::ZERO, Event::Sample);
         }
-        for (path, sched) in &cfg.rate_schedules {
-            for &(at, bps) in &sched.changes {
-                engine
-                    .queue_mut()
-                    .schedule(at, Event::RateChange { path: *path as u32, bps });
-            }
-        }
-        for (path, sched) in &cfg.delay_schedules {
-            for &(at, d) in sched {
-                engine.queue_mut().schedule(
-                    at,
-                    Event::DelayChange {
-                        path: *path as u32,
-                        one_way_us: d.as_micros() as u64,
-                    },
-                );
-            }
-        }
-        for &(at, path, up) in &cfg.path_events {
-            engine.queue_mut().schedule(at, Event::PathState { path: path as u32, up });
+        if let Some(at) = first_control {
+            engine.queue_mut().schedule(at, Event::Control { idx: 0 });
         }
         Testbed { engine }
     }

@@ -4,6 +4,7 @@
 
 use ecf_core::SchedulerKind;
 use mptcp::{Api, Application, ConnConfig, ConnSpec, Testbed, TestbedConfig};
+use scenario::Scenario;
 use simnet::{PathConfig, Time};
 
 use mptcp::RecorderConfig;
@@ -90,9 +91,7 @@ fn single_path_baseline_matches_link_rate() {
         }],
         seed: 1,
         recorder: RecorderConfig::default(),
-        rate_schedules: Vec::new(),
-        delay_schedules: Vec::new(),
-        path_events: Vec::new(),
+        scenario: Scenario::default(),
     };
     let bytes = 4 * 1024 * 1024;
     let mut tb = Testbed::new(cfg, SequentialDownloads::new(vec![bytes]));
@@ -131,9 +130,7 @@ fn survives_random_loss() {
         }],
         seed: 7,
         recorder: RecorderConfig::default(),
-        rate_schedules: Vec::new(),
-        delay_schedules: Vec::new(),
-        path_events: Vec::new(),
+        scenario: Scenario::default(),
     };
     let mut tb = Testbed::new(cfg, SequentialDownloads::new(vec![1024 * 1024]));
     tb.run_until(Time::from_secs(120));
@@ -181,9 +178,7 @@ fn four_subflows_two_per_interface() {
         }],
         seed: 11,
         recorder: RecorderConfig::default(),
-        rate_schedules: Vec::new(),
-        delay_schedules: Vec::new(),
-        path_events: Vec::new(),
+        scenario: Scenario::default(),
     };
     let mut tb = Testbed::new(cfg, SequentialDownloads::new(vec![1024 * 1024]));
     tb.run_until(Time::from_secs(60));
@@ -212,9 +207,7 @@ fn parallel_connections_share_paths() {
         conns,
         seed: 13,
         recorder: RecorderConfig::default(),
-        rate_schedules: Vec::new(),
-        delay_schedules: Vec::new(),
-        path_events: Vec::new(),
+        scenario: Scenario::default(),
     };
 
     /// Issues one download per connection at start.
@@ -239,15 +232,13 @@ fn parallel_connections_share_paths() {
 
 #[test]
 fn rate_change_mid_transfer_slows_progress() {
-    use simnet::RateSchedule;
     // Start at 8 Mbps on both; collapse to 0.3 Mbps at t=1s.
     let mk = |with_drop: bool| {
         let mut cfg = TestbedConfig::wifi_lte(8.0, 8.0, SchedulerKind::Default, 21);
         if with_drop {
-            cfg.rate_schedules = vec![
-                (0, RateSchedule { changes: vec![(Time::from_secs(1), 300_000)] }),
-                (1, RateSchedule { changes: vec![(Time::from_secs(1), 300_000)] }),
-            ];
+            cfg.scenario = Scenario::new()
+                .rate_bps(Time::from_secs(1), 0, 300_000)
+                .rate_bps(Time::from_secs(1), 1, 300_000);
         }
         let mut tb = Testbed::new(cfg, SequentialDownloads::new(vec![4 * 1024 * 1024]));
         tb.run_until(Time::from_secs(300));

@@ -5,6 +5,7 @@
 
 use ecf_core::SchedulerKind;
 use mptcp::{Api, Application, ConnSpec, RecorderConfig, Testbed, TestbedConfig};
+use scenario::Scenario;
 use simnet::{PathConfig, Time};
 
 struct OneShot {
@@ -21,15 +22,13 @@ impl Application for OneShot {
     }
 }
 
-fn testbed(path_events: Vec<(Time, usize, bool)>, kind: SchedulerKind) -> TestbedConfig {
+fn testbed(dynamics: Scenario, kind: SchedulerKind) -> TestbedConfig {
     TestbedConfig {
         paths: vec![PathConfig::wifi(4.0), PathConfig::lte(4.0)],
         conns: vec![ConnSpec::new(kind, vec![0, 1])],
         seed: 3,
         recorder: RecorderConfig::default(),
-        rate_schedules: Vec::new(),
-        delay_schedules: Vec::new(),
-        path_events,
+        scenario: dynamics,
     }
 }
 
@@ -38,7 +37,7 @@ fn transfer_survives_losing_one_path() {
     // WiFi dies 500 ms in and never returns: the 4 MB transfer must finish
     // over LTE alone, with the stranded WiFi data reinjected.
     for kind in SchedulerKind::paper_set() {
-        let cfg = testbed(vec![(Time::from_millis(500), 0, false)], kind);
+        let cfg = testbed(Scenario::new().path_down(Time::from_millis(500), 0), kind);
         let mut tb = Testbed::new(cfg, OneShot { bytes: 4 * 1024 * 1024, done: None });
         tb.run_until(Time::from_secs(120));
         let done = tb
@@ -59,7 +58,7 @@ fn transfer_survives_losing_one_path() {
 
 #[test]
 fn dead_path_is_not_scheduled() {
-    let cfg = testbed(vec![(Time::from_millis(200), 0, false)], SchedulerKind::Ecf);
+    let cfg = testbed(Scenario::new().path_down(Time::from_millis(200), 0), SchedulerKind::Ecf);
     let mut tb = Testbed::new(cfg, OneShot { bytes: 2 * 1024 * 1024, done: None });
     tb.run_until(Time::from_secs(60));
     assert!(tb.app().done.is_some());
@@ -78,7 +77,7 @@ fn path_recovery_restores_aggregation() {
     // WiFi blinks off between t=1 s and t=6 s; with a long transfer the
     // recovered path must be used again afterwards.
     let cfg = testbed(
-        vec![(Time::from_secs(1), 0, false), (Time::from_secs(6), 0, true)],
+        Scenario::new().outage(0, Time::from_secs(1), Time::from_secs(6)),
         SchedulerKind::Default,
     );
     let mut tb = Testbed::new(cfg, OneShot { bytes: 8 * 1024 * 1024, done: None });
@@ -98,12 +97,9 @@ fn total_outage_stalls_then_recovers() {
     // Both paths down for 3 s: nothing delivers during the blackout, the
     // transfer still completes afterwards.
     let cfg = testbed(
-        vec![
-            (Time::from_secs(1), 0, false),
-            (Time::from_secs(1), 1, false),
-            (Time::from_secs(4), 0, true),
-            (Time::from_secs(4), 1, true),
-        ],
+        Scenario::new()
+            .outage(0, Time::from_secs(1), Time::from_secs(4))
+            .outage(1, Time::from_secs(1), Time::from_secs(4)),
         SchedulerKind::Ecf,
     );
     let mut tb = Testbed::new(cfg, OneShot { bytes: 4 * 1024 * 1024, done: None });

@@ -7,9 +7,8 @@
 
 use std::time::Duration;
 
+use simnet::Time;
 use testkit::Rng;
-
-use crate::time::Time;
 
 /// A piecewise-constant bandwidth plan for one link.
 #[derive(Debug, Clone, PartialEq)]

@@ -51,15 +51,15 @@
 mod delivery;
 mod engine;
 mod link;
+mod loss;
 mod path;
-mod schedule;
 mod time;
 
 pub use delivery::DeliveryQueue;
 pub use engine::{Engine, EventQueue, Model, RunOutcome};
 pub use link::{Link, LinkConfig, LinkStats, Verdict};
+pub use loss::{GilbertElliott, LossModel};
 pub use path::{
     Path, PathConfig, LTE_ONE_WAY, SHAPED_QUEUE_BYTES, WIFI_ONE_WAY,
 };
-pub use schedule::RateSchedule;
 pub use time::{dur_nanos, Time};

@@ -16,6 +16,7 @@ use std::time::Duration;
 
 use testkit::Rng;
 
+use crate::loss::LossModel;
 use crate::time::Time;
 
 /// Static configuration of one link direction.
@@ -141,6 +142,12 @@ pub struct Link {
     last_arrival: Time,
     /// Q32 nanos-per-byte reciprocal, recomputed on every rate change.
     recip_q32: u128,
+    /// Active random-loss process (seeded from `cfg.loss_rate` as a
+    /// Bernoulli model; scenarios swap in richer models at run time).
+    loss: LossModel,
+    /// Gilbert–Elliott chain state (false = good). Meaningless for the
+    /// other models.
+    loss_bad_state: bool,
     /// True when the config has neither jitter nor random loss — the common
     /// case, which then skips the per-packet RNG branches entirely.
     deterministic: bool,
@@ -152,7 +159,12 @@ impl Link {
     /// Create a link; `seed` drives jitter and random loss only.
     pub fn new(cfg: LinkConfig, seed: u64) -> Self {
         let recip_q32 = serialization_recip(cfg.rate_bps);
-        let deterministic = cfg.loss_rate <= 0.0 && cfg.jitter_max == Duration::ZERO;
+        let loss = if cfg.loss_rate > 0.0 {
+            LossModel::Bernoulli(cfg.loss_rate)
+        } else {
+            LossModel::None
+        };
+        let deterministic = loss.is_none() && cfg.jitter_max == Duration::ZERO;
         Link {
             cfg,
             busy_until: Time::ZERO,
@@ -160,6 +172,8 @@ impl Link {
             queued_bytes: 0,
             last_arrival: Time::ZERO,
             recip_q32,
+            loss,
+            loss_bad_state: false,
             deterministic,
             rng: Rng::seed_from_u64(seed),
             stats: LinkStats::default(),
@@ -193,6 +207,20 @@ impl Link {
     /// Update the propagation delay (wild RTT drift model).
     pub fn set_prop_delay(&mut self, d: Duration) {
         self.cfg.prop_delay = d;
+    }
+
+    /// The active random-loss process.
+    pub fn loss_model(&self) -> LossModel {
+        self.loss
+    }
+
+    /// Swap the random-loss process (scenario impairment hook). Resets the
+    /// Gilbert–Elliott chain to the good state; the zero-loss/zero-jitter
+    /// fast path is restored automatically when `model` can never drop.
+    pub fn set_loss_model(&mut self, model: LossModel) {
+        self.loss = model;
+        self.loss_bad_state = false;
+        self.deterministic = self.loss.is_none() && self.cfg.jitter_max == Duration::ZERO;
     }
 
     /// Lifetime counters.
@@ -245,10 +273,12 @@ impl Link {
         // the order the flag-free code did (loss draw first, then jitter),
         // so seeded verdict sequences are unchanged — see the
         // `lossy_jittery_verdicts_match_golden` test.
-        if !self.deterministic && self.cfg.loss_rate > 0.0 && self.rng.f64() < self.cfg.loss_rate
-        {
-            self.stats.dropped_random += 1;
-            return Verdict::DropRandom;
+        if !self.deterministic {
+            let loss = self.loss;
+            if loss.drop_packet(&mut self.loss_bad_state, &mut self.rng) {
+                self.stats.dropped_random += 1;
+                return Verdict::DropRandom;
+            }
         }
         if self.queued_bytes + u64::from(wire_bytes) > self.cfg.queue_limit_bytes {
             self.stats.dropped_queue += 1;
@@ -279,6 +309,7 @@ impl Link {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::loss::GilbertElliott;
 
     const MTU: u32 = 1500;
 
@@ -350,6 +381,66 @@ mod tests {
             Verdict::Deliver { arrival } => assert_eq!(arrival, Time::from_millis(10)),
             _ => unreachable!(),
         }
+    }
+
+    /// Pins the flush-at-old-rate contract scenario rate traces rely on:
+    /// a mid-flight `set_rate_bps` must not retroactively reprice packets
+    /// already accepted into the queue. Departures computed before the
+    /// change stand; only packets offered *after* it see the new rate.
+    #[test]
+    fn rate_change_does_not_reprice_queued_packets() {
+        // 12 Mbps: 1500B serializes in 1 ms.
+        let mut l = mk(12.0, 0, 10_000_000);
+        let a1 = match l.enqueue(Time::ZERO, MTU) {
+            Verdict::Deliver { arrival } => arrival,
+            _ => unreachable!(),
+        };
+        let a2 = match l.enqueue(Time::ZERO, MTU) {
+            Verdict::Deliver { arrival } => arrival,
+            _ => unreachable!(),
+        };
+        assert_eq!(a1, Time::from_millis(1));
+        assert_eq!(a2, Time::from_millis(2));
+
+        // Drop to 1.2 Mbps while both packets are still queued. Their
+        // departures are already fixed; the next packet starts serializing
+        // only after the old-rate backlog fully flushes at t = 2 ms.
+        l.set_rate_bps(1_200_000);
+        let a3 = match l.enqueue(Time::ZERO, MTU) {
+            Verdict::Deliver { arrival } => arrival,
+            _ => unreachable!(),
+        };
+        assert_eq!(a3, Time::from_millis(2) + Duration::from_millis(10));
+
+        // The queue also drains on the old schedule: at t = 2 ms both
+        // original packets are gone, not stretched out by the new rate.
+        assert_eq!(l.queued_bytes(Time::from_millis(2)), u64::from(MTU));
+    }
+
+    /// Gilbert–Elliott with p(good→bad) = 0 never leaves the good state and
+    /// must consume the RNG exactly like Bernoulli(loss_good): the full
+    /// verdict sequences (drops, arrivals, jitter draws) are bit-identical.
+    #[test]
+    fn gilbert_elliott_degenerate_matches_bernoulli_bit_identically() {
+        let run = |model: LossModel| {
+            let mut cfg = LinkConfig::shaped(4.0, Duration::from_millis(12), 128 * 1024);
+            cfg.jitter_max = Duration::from_millis(2);
+            let mut l = Link::new(cfg, 4242);
+            l.set_loss_model(model);
+            (0..4_000u64)
+                .map(|i| l.enqueue(Time::from_micros(i * 311), 80 + (i % 1420) as u32))
+                .collect::<Vec<_>>()
+        };
+        let degenerate = LossModel::GilbertElliott(GilbertElliott {
+            p_good_bad: 0.0,
+            p_bad_good: 0.5,
+            loss_good: 0.07,
+            loss_bad: 1.0,
+        });
+        let ge = run(degenerate);
+        let bern = run(LossModel::Bernoulli(0.07));
+        assert_eq!(ge, bern);
+        assert!(ge.iter().any(|v| matches!(v, Verdict::DropRandom)));
     }
 
     #[test]

@@ -160,6 +160,7 @@ mod tests {
     use super::*;
     use ecf_core::SchedulerKind;
     use mptcp::{ConnConfig, ConnSpec, RecorderConfig, Testbed, TestbedConfig};
+    use scenario::Scenario;
     use simnet::PathConfig;
 
     #[test]
@@ -196,9 +197,7 @@ mod tests {
             conns,
             seed,
             recorder: RecorderConfig::default(),
-            rate_schedules: Vec::new(),
-            delay_schedules: Vec::new(),
-            path_events: Vec::new(),
+            scenario: Scenario::default(),
         };
         let mut tb = Testbed::new(cfg, BrowserApp::new(PageModel::cnn_like(77), 6));
         tb.run_until(Time::from_secs(300));

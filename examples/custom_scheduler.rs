@@ -65,9 +65,7 @@ fn run(spec: ConnSpec, label: &str) {
         conns: vec![spec],
         seed: 5,
         recorder: RecorderConfig::default(),
-        rate_schedules: Vec::new(),
-        delay_schedules: Vec::new(),
-        path_events: Vec::new(),
+        scenario: Scenario::default(),
     };
     let mut tb = Testbed::new(cfg, OneShot(None));
     tb.run_until(Time::from_secs(120));

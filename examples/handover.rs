@@ -14,10 +14,7 @@ fn main() {
 
     for kind in [SchedulerKind::Default, SchedulerKind::Ecf] {
         let mut cfg = TestbedConfig::wifi_lte(4.0, 4.0, kind, 11);
-        cfg.path_events = vec![
-            (Time::from_secs(20), 0, false),
-            (Time::from_secs(60), 0, true),
-        ];
+        cfg.scenario = Scenario::new().outage(0, Time::from_secs(20), Time::from_secs(60));
         let player = PlayerConfig { video_secs: 120.0, ..PlayerConfig::default() };
         let mut tb = Testbed::new(cfg, DashApp::new(player, 0));
         tb.run_until(Time::from_secs(600));

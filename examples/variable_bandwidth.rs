@@ -19,12 +19,12 @@ fn main() {
     println!("Random-bandwidth scenario {scenario} (mean change interval 40 s)\n");
 
     for kind in [SchedulerKind::Default, SchedulerKind::Blest, SchedulerKind::Ecf] {
-        let wifi_sched =
-            RateSchedule::random(scenario * 2, Duration::from_secs(40), &rates, horizon);
-        let lte_sched =
-            RateSchedule::random(scenario * 2 + 1, Duration::from_secs(40), &rates, horizon);
         let mut cfg = TestbedConfig::wifi_lte(1.7, 1.7, kind, scenario);
-        cfg.rate_schedules = vec![(0, wifi_sched), (1, lte_sched)];
+        // Both interfaces walk the §5.3 random-rate process, each under
+        // its own seed, so every scheduler races the identical scenario.
+        cfg.scenario = Scenario::new()
+            .random_rates(0, scenario * 2, Duration::from_secs(40), &rates, horizon)
+            .random_rates(1, scenario * 2 + 1, Duration::from_secs(40), &rates, horizon);
 
         let player = PlayerConfig { video_secs: 180.0, ..PlayerConfig::default() };
         let mut tb = Testbed::new(cfg, DashApp::new(player, 0));

@@ -28,9 +28,7 @@ fn main() {
             conns,
             seed: 7,
             recorder: RecorderConfig::default(),
-            rate_schedules: Vec::new(),
-            delay_schedules: Vec::new(),
-            path_events: Vec::new(),
+            scenario: Scenario::default(),
         };
         let mut tb = Testbed::new(cfg, BrowserApp::new(page.clone(), 6));
         tb.run_until(Time::from_secs(600));

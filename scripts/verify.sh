@@ -47,7 +47,11 @@ results = doc.get("results")
 if not isinstance(results, list) or not results:
     sys.exit(f"verify.sh: {label}: no results array")
 names = {r.get("name") for r in results}
-for want in ("sim_throughput/streaming_0.3_8.6", "sim_throughput/browse_6conn"):
+for want in (
+    "sim_throughput/streaming_0.3_8.6",
+    "sim_throughput/streaming_0.3_8.6_scenario",
+    "sim_throughput/browse_6conn",
+):
     if want not in names:
         sys.exit(f"verify.sh: {label}: missing benchmark {want}")
 for r in results:
@@ -62,5 +66,15 @@ PY
 
 check_bench_json "$tmp_json" "smoke bench JSON"
 check_bench_json "BENCH.json" "committed BENCH.json"
+
+echo "== scenario dynamics smoke (dyn_handover, quick) =="
+# --no-save: the committed results/dyn_handover.txt is the full-effort run.
+dyn_out="$(cargo run --offline --release -p experiments --bin repro -- dyn_handover --quick --no-save)"
+echo "$dyn_out" | grep -q "outage_s" \
+    || { echo "verify.sh: dyn_handover output lacks the ladder header" >&2; exit 1; }
+echo "$dyn_out" | grep -q "ladder means: default=" \
+    || { echo "verify.sh: dyn_handover output lacks the summary line" >&2; exit 1; }
+[ -s results/dyn_handover.txt ] \
+    || { echo "verify.sh: results/dyn_handover.txt missing or empty" >&2; exit 1; }
 
 echo "verify.sh: all green"

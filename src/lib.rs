@@ -44,6 +44,7 @@ pub use ecf_core as scheduler;
 pub use experiments;
 pub use metrics;
 pub use mptcp as transport;
+pub use scenario as dynamics;
 pub use simnet as net;
 pub use tcp_model as tcp;
 pub use webload as web;
@@ -57,6 +58,7 @@ pub mod prelude {
     pub use mptcp::{
         Api, Application, CcKind, ConnConfig, ConnSpec, RecorderConfig, Testbed, TestbedConfig,
     };
-    pub use simnet::{PathConfig, RateSchedule, Time};
+    pub use scenario::{GilbertElliott, LossModel, RateSchedule, Scenario};
+    pub use simnet::{PathConfig, Time};
     pub use webload::{BrowserApp, PageModel, SequentialApp, WgetApp};
 }

@@ -6,7 +6,11 @@
 
 use testkit::json::{self, Value};
 
-const TRACKED: &[&str] = &["sim_throughput/streaming_0.3_8.6", "sim_throughput/browse_6conn"];
+const TRACKED: &[&str] = &[
+    "sim_throughput/streaming_0.3_8.6",
+    "sim_throughput/streaming_0.3_8.6_scenario",
+    "sim_throughput/browse_6conn",
+];
 
 #[test]
 fn committed_bench_json_parses_and_has_tracked_scenarios() {

@@ -106,9 +106,7 @@ fn web_page_load_improves_with_ecf_under_heterogeneity() {
             conns,
             seed: 7,
             recorder: RecorderConfig::default(),
-            rate_schedules: Vec::new(),
-            delay_schedules: Vec::new(),
-            path_events: Vec::new(),
+            scenario: Scenario::default(),
         };
         let mut tb = Testbed::new(cfg, BrowserApp::new(PageModel::cnn_like(2014), 6));
         tb.run_until(Time::from_secs(600));
@@ -159,9 +157,7 @@ fn four_subflows_keep_the_ecf_advantage() {
             conns: vec![ConnSpec::new(kind, vec![0, 1, 2, 3])],
             seed: 4,
             recorder: RecorderConfig::default(),
-            rate_schedules: Vec::new(),
-            delay_schedules: Vec::new(),
-            path_events: Vec::new(),
+            scenario: Scenario::default(),
         };
         let player = PlayerConfig { video_secs: 90.0, ..PlayerConfig::default() };
         let mut tb = Testbed::new(cfg, DashApp::new(player, 0));
