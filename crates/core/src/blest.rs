@@ -64,23 +64,21 @@ impl Blest {
     }
 }
 
-impl Scheduler for Blest {
-    fn name(&self) -> &'static str {
-        "blest"
-    }
-
-    fn select(&mut self, input: &SchedInput<'_>) -> Decision {
+impl Blest {
+    /// The BLEST rule with full provenance; `select` and `select_explained`
+    /// both run through here.
+    fn decide(&mut self, input: &SchedInput<'_>) -> (Decision, crate::Why) {
         // Relax λ toward 1.
         self.lambda = 1.0 + (self.lambda - 1.0) * self.cfg.lambda_decay;
 
         let Some(xf) = input.fastest() else {
-            return Decision::Blocked;
+            return (Decision::Blocked, crate::Why::NoCapacity);
         };
         if xf.has_space() {
-            return Decision::Send(xf.id);
+            return (Decision::Send(xf.id), crate::Why::FastestFree);
         }
         let Some(xs) = input.fastest_available() else {
-            return Decision::Blocked;
+            return (Decision::Blocked, crate::Why::NoCapacity);
         };
 
         // Segments the fast subflow could send during one slow-path RTT:
@@ -94,10 +92,25 @@ impl Scheduler for Blest {
         // If that projection (scaled by λ) exceeds what is left of the
         // connection-level send window, a segment parked on the slow path is
         // predicted to cause blocking → wait for the fast path.
-        if fast_during_slow_rtt * self.lambda > input.send_window_free_pkts as f64 {
-            return Decision::Wait;
+        let projected_pkts = fast_during_slow_rtt * self.lambda;
+        if projected_pkts > input.send_window_free_pkts as f64 {
+            return (Decision::Wait, crate::Why::BlestWait { projected_pkts, lambda: self.lambda });
         }
-        Decision::Send(xs.id)
+        (Decision::Send(xs.id), crate::Why::BlestFits { projected_pkts, lambda: self.lambda })
+    }
+}
+
+impl Scheduler for Blest {
+    fn name(&self) -> &'static str {
+        "blest"
+    }
+
+    fn select(&mut self, input: &SchedInput<'_>) -> Decision {
+        self.decide(input).0
+    }
+
+    fn select_explained(&mut self, input: &SchedInput<'_>) -> (Decision, crate::Why) {
+        self.decide(input)
     }
 
     fn on_window_blocked(&mut self) {

@@ -38,15 +38,13 @@ impl Daps {
     }
 }
 
-impl Scheduler for Daps {
-    fn name(&self) -> &'static str {
-        "daps"
-    }
-
-    fn select(&mut self, input: &SchedInput<'_>) -> Decision {
+impl Daps {
+    /// The DAPS rule with full provenance; `select` and `select_explained`
+    /// both run through here.
+    fn decide(&mut self, input: &SchedInput<'_>) -> (Decision, crate::Why) {
         let usable: Vec<_> = input.paths.iter().filter(|p| p.usable).collect();
         if usable.is_empty() || !usable.iter().any(|p| p.has_space()) {
-            return Decision::Blocked;
+            return (Decision::Blocked, crate::Why::NoCapacity);
         }
 
         // Deposit one segment of credit, split ∝ 1/RTT over usable paths.
@@ -70,17 +68,34 @@ impl Scheduler for Daps {
             })
             .expect("usable is non-empty");
         if !chosen.has_space() {
+            let id = chosen.id;
             // Roll back this call's deposit so waiting does not inflate the
             // designated path's debt.
             for p in &usable {
                 let w = (1.0 / secs(p.srtt).max(1e-6)) / total_w;
                 *self.credit(p.id.0) -= w;
             }
-            return Decision::Wait;
+            let credit = self.credits[id.0];
+            return (Decision::Wait, crate::Why::DapsHold { credit });
         }
         let id = chosen.id;
         *self.credit(id.0) -= 1.0;
-        Decision::Send(id)
+        let credit = self.credits[id.0];
+        (Decision::Send(id), crate::Why::DapsDesignated { credit })
+    }
+}
+
+impl Scheduler for Daps {
+    fn name(&self) -> &'static str {
+        "daps"
+    }
+
+    fn select(&mut self, input: &SchedInput<'_>) -> Decision {
+        self.decide(input).0
+    }
+
+    fn select_explained(&mut self, input: &SchedInput<'_>) -> (Decision, crate::Why) {
+        self.decide(input)
     }
 
     fn reset(&mut self) {

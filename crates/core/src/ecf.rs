@@ -10,6 +10,7 @@
 
 use std::time::Duration;
 
+use crate::explain::{EcfTerms, Why};
 use crate::types::{secs, Decision, SchedInput, Scheduler};
 
 /// Default hysteresis factor β; the paper sets 0.25 throughout its evaluation
@@ -57,30 +58,48 @@ impl Ecf {
         Ecf { cfg, waiting: false }
     }
 
-    /// Whether the scheduler is currently holding back for the fast subflow.
+    /// Whether the scheduler is currently holding back for the fast subflow
+    /// — Algorithm 1's `waiting` hysteresis bit.
+    ///
+    /// Semantics across the wait→send transition:
+    ///
+    /// * The bit is **set** the moment a `select` call returns
+    ///   [`Decision::Wait`] (both inequalities held) and stays set across
+    ///   subsequent `Wait` verdicts; while set, the first inequality's
+    ///   threshold gains the `(1 + β)` bonus, so leaving the waiting state
+    ///   requires the backlog to grow past a *higher* bar than entering it.
+    /// * The bit is **cleared** when the first inequality fails and ECF
+    ///   sends on the slow path ([`Why::EcfBacklogSend`]) — the backlog got
+    ///   big enough that both pipes should run — and by [`Ecf::reset`].
+    /// * The bit is **unchanged** by fast-path sends
+    ///   ([`Why::FastestFree`]): a momentarily free fast subflow does not
+    ///   mean the tail-holding episode is over. It is also unchanged by a
+    ///   second-inequality send ([`Why::EcfSecondInequalitySend`]): that
+    ///   rule fires when the slow path is nearly as fast as waiting, which
+    ///   does not contradict the decision to keep favouring the fast path.
+    /// * `Blocked` verdicts (no usable path at all) leave it untouched.
+    ///
+    /// See `waiting_bit_across_transitions` in this module's tests for the
+    /// executable version of this contract.
     pub fn is_waiting(&self) -> bool {
         self.waiting
     }
-}
 
-impl Scheduler for Ecf {
-    fn name(&self) -> &'static str {
-        "ecf"
-    }
-
-    fn select(&mut self, input: &SchedInput<'_>) -> Decision {
+    /// Algorithm 1 with full provenance: the single implementation both
+    /// [`Scheduler::select`] and [`Scheduler::select_explained`] call.
+    fn decide(&mut self, input: &SchedInput<'_>) -> (Decision, Why) {
         // Fastest subflow by sRTT, regardless of window space.
         let Some(xf) = input.fastest() else {
-            return Decision::Blocked;
+            return (Decision::Blocked, Why::NoCapacity);
         };
         if xf.has_space() {
             // Algorithm 1: the fast subflow is available — just use it.
-            return Decision::Send(xf.id);
+            return (Decision::Send(xf.id), Why::FastestFree);
         }
         // Fast subflow is cwnd-limited. The candidate is whatever the default
         // scheduler would pick among the remaining paths.
         let Some(xs) = input.fastest_available() else {
-            return Decision::Blocked;
+            return (Decision::Blocked, Why::NoCapacity);
         };
 
         let k = input.queued_pkts.max(1) as f64;
@@ -97,28 +116,52 @@ impl Scheduler for Ecf {
         // (1 + k/CWNDf)·RTTf: wait one RTTf for the window to open, then
         // k/CWNDf rounds of transfer.
         let wait_for_fast = (1.0 + k / cwnd_f) * rtt_f;
-        let beta = if self.waiting { self.cfg.beta } else { 0.0 };
+        let beta_applied = self.waiting;
+        let beta = if beta_applied { self.cfg.beta } else { 0.0 };
         let threshold = (1.0 + beta) * (rtt_s + delta);
+        // The second inequality's terms: segments transfer in whole
+        // windows, hence the ceil on the round count (this also matches the
+        // paper's worked 11-packet example, where k=1 on the slow path
+        // costs a full RTTs).
+        let slow_time = (k / cwnd_s).ceil().max(1.0) * rtt_s;
+        let terms = EcfTerms {
+            wait_for_fast_s: wait_for_fast,
+            threshold_s: threshold,
+            slow_time_s: slow_time,
+            slow_floor_s: 2.0 * rtt_f + delta,
+            delta_s: delta,
+            beta_applied,
+        };
 
         if wait_for_fast < threshold {
             // Waiting for the fast subflow is predicted to complete earlier
             // than handing this segment to xs. The second inequality insists
             // that xs really would be slower than the ≥ 2·RTTf floor of the
-            // waiting option; segments transfer in whole windows, hence the
-            // ceil on the round count (this also matches the paper's worked
-            // 11-packet example, where k=1 on the slow path costs a full RTTs).
-            let slow_rounds = (k / cwnd_s).ceil().max(1.0);
-            let slow_time = slow_rounds * rtt_s;
-            if !self.cfg.use_second_inequality || slow_time >= 2.0 * rtt_f + delta {
+            // waiting option.
+            if !self.cfg.use_second_inequality || slow_time >= terms.slow_floor_s {
                 self.waiting = true;
-                return Decision::Wait;
+                return (Decision::Wait, Why::EcfWait(terms));
             }
-            return Decision::Send(xs.id);
+            return (Decision::Send(xs.id), Why::EcfSecondInequalitySend(terms));
         }
         // Plenty of backlog: using the extra bandwidth of xs shortens the
         // completion time. Clear the hysteresis bit.
         self.waiting = false;
-        Decision::Send(xs.id)
+        (Decision::Send(xs.id), Why::EcfBacklogSend(terms))
+    }
+}
+
+impl Scheduler for Ecf {
+    fn name(&self) -> &'static str {
+        "ecf"
+    }
+
+    fn select(&mut self, input: &SchedInput<'_>) -> Decision {
+        self.decide(input).0
+    }
+
+    fn select_explained(&mut self, input: &SchedInput<'_>) -> (Decision, Why) {
+        self.decide(input)
     }
 
     fn reset(&mut self) {
@@ -128,6 +171,11 @@ impl Scheduler for Ecf {
 
 /// δ margin helper exposed for tests and documentation: max of the two paths'
 /// RTT deviations.
+///
+/// Trace consumers should *not* call this to reconstruct the margin a
+/// decision used: the δ the scheduler actually applied (zero under the
+/// `ablation_delta` configuration) is carried in the decision's
+/// [`EcfTerms::delta_s`], via [`Scheduler::select_explained`].
 pub fn delta_margin(dev_f: Duration, dev_s: Duration) -> Duration {
     dev_f.max(dev_s)
 }
@@ -271,6 +319,104 @@ mod tests {
             e.select(&input(&paths, 1)); // enter waiting
             assert_eq!(e.select(&input(&paths, k)), Decision::Send(PathId(1)), "k={k}");
         }
+    }
+
+    /// Executable version of the `is_waiting` contract: how the hysteresis
+    /// bit behaves across every kind of transition, including wait→send.
+    #[test]
+    fn waiting_bit_across_transitions() {
+        let full_fast = path(0, 10, 10, 10);
+        let free_fast = path(0, 10, 10, 3);
+        let slow = path(1, 100, 10, 0);
+        let mut ecf = Ecf::new();
+
+        // Enter waiting: tail case, both inequalities hold.
+        assert_eq!(ecf.select(&input(&[full_fast, slow], 1)), Decision::Wait);
+        assert!(ecf.is_waiting());
+
+        // A fast-path send does NOT clear the bit: the episode survives the
+        // window momentarily opening.
+        assert_eq!(ecf.select(&input(&[free_fast, slow], 1)), Decision::Send(PathId(0)));
+        assert!(ecf.is_waiting());
+
+        // Blocked leaves it untouched.
+        let full_slow = path(1, 100, 10, 10);
+        assert_eq!(ecf.select(&input(&[full_fast, full_slow], 1)), Decision::Blocked);
+        assert!(ecf.is_waiting());
+
+        // The wait→send transition that DOES clear it: backlog grows past
+        // the β-boosted threshold and ECF commits to the slow path.
+        assert_eq!(ecf.select(&input(&[full_fast, slow], 200)), Decision::Send(PathId(1)));
+        assert!(!ecf.is_waiting());
+
+        // A second-inequality send leaves the bit as-is (never entered
+        // waiting here): slow barely slower than fast.
+        let near_fast = path(0, 20, 10, 10);
+        let near_slow = path(1, 30, 10, 0);
+        let mut e2 = Ecf::new();
+        assert_eq!(e2.select(&input(&[near_fast, near_slow], 1)), Decision::Send(PathId(1)));
+        assert!(!e2.is_waiting());
+    }
+
+    /// select_explained reports the rule that fired and must agree with
+    /// select for identical state and input.
+    #[test]
+    fn provenance_matches_decision() {
+        use crate::explain::Why;
+        let paths = [path(0, 10, 10, 10), path(1, 100, 10, 0)];
+
+        let mut ecf = Ecf::new();
+        let (d, why) = ecf.select_explained(&input(&paths, 1));
+        assert_eq!(d, Decision::Wait);
+        assert!(matches!(why, Why::EcfWait(_)), "{why:?}");
+
+        let (d, why) = ecf.select_explained(&input(&paths, 200));
+        assert_eq!(d, Decision::Send(PathId(1)));
+        assert!(matches!(why, Why::EcfBacklogSend(_)), "{why:?}");
+
+        let free = [path(0, 10, 10, 3), path(1, 100, 10, 0)];
+        let (d, why) = ecf.select_explained(&input(&free, 5));
+        assert_eq!(d, Decision::Send(PathId(0)));
+        assert_eq!(why, Why::FastestFree);
+
+        let near = [path(0, 20, 10, 10), path(1, 30, 10, 0)];
+        let (d, why) = Ecf::new().select_explained(&input(&near, 1));
+        assert_eq!(d, Decision::Send(PathId(1)));
+        assert!(matches!(why, Why::EcfSecondInequalitySend(_)), "{why:?}");
+
+        let blocked = [path(0, 10, 10, 10), path(1, 100, 10, 10)];
+        let (d, why) = Ecf::new().select_explained(&input(&blocked, 1));
+        assert_eq!(d, Decision::Blocked);
+        assert_eq!(why, Why::NoCapacity);
+    }
+
+    /// The decision event carries the δ the scheduler *used*, not a value
+    /// callers must recompute: with `use_delta` off it reads zero even
+    /// though the snapshots have non-zero deviations.
+    #[test]
+    fn provenance_exposes_computed_delta() {
+        let mut fast = path(0, 40, 10, 10);
+        let mut slow = path(1, 100, 10, 0);
+        fast.rtt_dev = Duration::from_millis(30);
+        slow.rtt_dev = Duration::from_millis(10);
+        let paths = [fast, slow];
+
+        let (_, why) = Ecf::new().select_explained(&input(&paths, 16));
+        let terms = why.ecf_terms().expect("ecf rule fired");
+        assert!((terms.delta_s - 0.030).abs() < 1e-12);
+        assert!(!terms.beta_applied);
+
+        let mut no_delta =
+            Ecf::with_config(EcfConfig { use_delta: false, ..EcfConfig::default() });
+        let (_, why) = no_delta.select_explained(&input(&paths, 16));
+        assert_eq!(why.ecf_terms().expect("ecf rule fired").delta_s, 0.0);
+
+        // Once waiting, the β bonus is reported as applied.
+        let tail = [path(0, 10, 10, 10), path(1, 100, 10, 0)];
+        let mut ecf = Ecf::new();
+        ecf.select(&input(&tail, 1));
+        let (_, why) = ecf.select_explained(&input(&tail, 1));
+        assert!(why.ecf_terms().unwrap().beta_applied);
     }
 
     #[test]

@@ -21,24 +21,34 @@ impl RoundRobin {
     }
 }
 
+impl RoundRobin {
+    fn decide(&mut self, input: &SchedInput<'_>) -> (Decision, crate::Why) {
+        let n = input.paths.len();
+        if n == 0 {
+            return (Decision::Blocked, crate::Why::NoCapacity);
+        }
+        for off in 0..n {
+            let idx = (self.next + off) % n;
+            if input.paths[idx].has_space() {
+                self.next = (idx + 1) % n;
+                return (Decision::Send(input.paths[idx].id), crate::Why::RoundRobinTurn);
+            }
+        }
+        (Decision::Blocked, crate::Why::NoCapacity)
+    }
+}
+
 impl Scheduler for RoundRobin {
     fn name(&self) -> &'static str {
         "rr"
     }
 
     fn select(&mut self, input: &SchedInput<'_>) -> Decision {
-        let n = input.paths.len();
-        if n == 0 {
-            return Decision::Blocked;
-        }
-        for off in 0..n {
-            let idx = (self.next + off) % n;
-            if input.paths[idx].has_space() {
-                self.next = (idx + 1) % n;
-                return Decision::Send(input.paths[idx].id);
-            }
-        }
-        Decision::Blocked
+        self.decide(input).0
+    }
+
+    fn select_explained(&mut self, input: &SchedInput<'_>) -> (Decision, crate::Why) {
+        self.decide(input)
     }
 
     fn reset(&mut self) {
@@ -69,6 +79,13 @@ impl Scheduler for SinglePath {
         match input.paths.iter().find(|p| p.id == self.path) {
             Some(p) if p.has_space() => Decision::Send(p.id),
             _ => Decision::Blocked,
+        }
+    }
+
+    fn select_explained(&mut self, input: &SchedInput<'_>) -> (Decision, crate::Why) {
+        match self.select(input) {
+            Decision::Send(id) => (Decision::Send(id), crate::Why::Pinned),
+            d => (d, crate::Why::NoCapacity),
         }
     }
 }

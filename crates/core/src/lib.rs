@@ -47,6 +47,7 @@
 mod blest;
 mod daps;
 mod ecf;
+mod explain;
 mod extras;
 mod kind;
 mod minrtt;
@@ -56,6 +57,7 @@ mod types;
 pub use blest::{Blest, BlestConfig};
 pub use daps::Daps;
 pub use ecf::{delta_margin, Ecf, EcfConfig, DEFAULT_BETA};
+pub use explain::{EcfTerms, Why};
 pub use extras::{RoundRobin, SinglePath};
 pub use kind::SchedulerKind;
 pub use minrtt::MinRtt;

@@ -30,6 +30,13 @@ impl Scheduler for MinRtt {
             None => Decision::Blocked,
         }
     }
+
+    fn select_explained(&mut self, input: &SchedInput<'_>) -> (Decision, crate::Why) {
+        match input.fastest_available() {
+            Some(p) => (Decision::Send(p.id), crate::Why::FastestAvailable),
+            None => (Decision::Blocked, crate::Why::NoCapacity),
+        }
+    }
 }
 
 #[cfg(test)]

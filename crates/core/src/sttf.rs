@@ -39,6 +39,10 @@ impl Scheduler for Sttf {
     }
 
     fn select(&mut self, input: &SchedInput<'_>) -> Decision {
+        self.select_explained(input).0
+    }
+
+    fn select_explained(&mut self, input: &SchedInput<'_>) -> (Decision, crate::Why) {
         let usable = input.paths.iter().filter(|p| p.usable);
         let best = usable.min_by(|a, b| {
             Self::estimate(a)
@@ -47,18 +51,20 @@ impl Scheduler for Sttf {
                 .then(a.id.cmp(&b.id))
         });
         match best {
-            Some(p) if p.has_space() => Decision::Send(p.id),
-            Some(_) => {
+            Some(p) if p.has_space() => {
+                (Decision::Send(p.id), crate::Why::SttfBest { estimate_s: Self::estimate(p) })
+            }
+            Some(p) => {
                 // The best path is full; sending elsewhere would finish later
                 // by construction, so wait for it — unless nothing could send
                 // anyway.
-                if input.paths.iter().any(|p| p.has_space()) {
-                    Decision::Wait
+                if input.paths.iter().any(|q| q.has_space()) {
+                    (Decision::Wait, crate::Why::SttfWaitBest { estimate_s: Self::estimate(p) })
                 } else {
-                    Decision::Blocked
+                    (Decision::Blocked, crate::Why::NoCapacity)
                 }
             }
-            None => Decision::Blocked,
+            None => (Decision::Blocked, crate::Why::NoCapacity),
         }
     }
 }

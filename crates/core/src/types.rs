@@ -95,6 +95,18 @@ pub trait Scheduler {
     /// Decide where the next segment goes.
     fn select(&mut self, input: &SchedInput<'_>) -> Decision;
 
+    /// Like [`Scheduler::select`], additionally reporting *why* the verdict
+    /// was reached (see [`crate::Why`]). The transport calls this variant
+    /// when telemetry is enabled; the two must be behaviourally identical
+    /// for the same input and internal state.
+    ///
+    /// The default implementation delegates to `select` and reports
+    /// [`crate::Why::Unspecified`], so third-party schedulers keep working
+    /// and still produce decision events carrying the full inputs.
+    fn select_explained(&mut self, input: &SchedInput<'_>) -> (Decision, crate::Why) {
+        (self.select(input), crate::Why::Unspecified)
+    }
+
     /// The transport observed a connection-level send-window stall
     /// (head-of-line blocking). BLEST adapts its scale factor on this.
     fn on_window_blocked(&mut self) {}

@@ -165,6 +165,7 @@ fn run_streaming_with_conn(cfg: &StreamingConfig, conn_cfg: mptcp::ConnConfig) -
         seed: cfg.seed,
         recorder: cfg.recorder,
         scenario: Scenario::default(),
+        telemetry: telemetry::TelemetryHandle::off(),
     };
     let player = PlayerConfig { video_secs: cfg.video_secs, ..PlayerConfig::default() };
     let mut tb = Testbed::new(tb_cfg, DashApp::new(player, 0));

@@ -4,20 +4,59 @@
 //! repro <id> [--quick] [--no-save]   one experiment (fig9, tab3, ...)
 //! repro all [--quick] [--no-save]    everything, in paper order
 //! repro list                         show available ids
+//! repro --trace out.jsonl [--quick] [--scenario dyn.json] [--seed N]
+//!                                    traced canonical run (0.3/8.6, ECF)
 //! ```
 //!
 //! Reports go to stdout and `results/<id>.txt`; `--no-save` skips the
 //! file so smoke runs don't overwrite committed full-effort results.
+//!
+//! `--trace` runs the paper's most heterogeneous streaming pair with
+//! telemetry enabled and writes every scheduler decision (with its inputs
+//! and which rule fired) plus transport/network lifecycle events as JSONL.
+//! `--scenario` layers network dynamics from a JSON file (schema:
+//! `scenario::Scenario::from_json`) onto the traced run.
 
 use std::io::Write;
 
-use experiments::{find, registry, Effort};
+use experiments::{find, registry, run_traced, Effort};
+use scenario::Scenario;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let save = !args.iter().any(|a| a == "--no-save");
     let effort = if quick { Effort::Quick } else { Effort::Full };
+
+    let flag_value = |name: &str| -> Option<String> {
+        args.iter().position(|a| a == name).map(|i| {
+            args.get(i + 1)
+                .filter(|v| !v.starts_with("--"))
+                .unwrap_or_else(|| {
+                    eprintln!("{name} needs a value");
+                    std::process::exit(2);
+                })
+                .clone()
+        })
+    };
+
+    if let Some(trace_path) = flag_value("--trace") {
+        let scenario = flag_value("--scenario").map(|file| {
+            Scenario::from_json_file(&file).unwrap_or_else(|err| {
+                eprintln!("bad scenario: {err}");
+                std::process::exit(2);
+            })
+        });
+        let seed = flag_value("--seed").map_or(1, |s| {
+            s.parse().unwrap_or_else(|_| {
+                eprintln!("--seed needs an integer, got '{s}'");
+                std::process::exit(2);
+            })
+        });
+        run_trace(&trace_path, effort, scenario, seed);
+        return;
+    }
+
     let target = args.iter().find(|a| !a.starts_with("--")).cloned();
 
     match target.as_deref() {
@@ -26,7 +65,7 @@ fn main() {
             for e in registry() {
                 println!("  {:<22} {}", e.id, e.title);
             }
-            println!("\nusage: repro <id>|all [--quick]");
+            println!("\nusage: repro <id>|all [--quick] | repro --trace <out.jsonl>");
         }
         Some("all") => {
             // Dedup aliases (fig7/fig10 etc. share a generator).
@@ -63,4 +102,26 @@ fn run_one(e: &experiments::Experiment, effort: Effort, save: bool) {
     {
         eprintln!("warning: could not write results/{}.txt: {err}", e.id);
     }
+}
+
+fn run_trace(path: &str, effort: Effort, scenario: Option<Scenario>, seed: u64) {
+    let started = std::time::Instant::now();
+    eprintln!("== traced run: 0.3/8.6 Mbps, ECF, seed {seed} ==");
+    let t = run_traced(effort, scenario, seed);
+    if let Err(err) = std::fs::write(path, &t.jsonl) {
+        eprintln!("could not write {path}: {err}");
+        std::process::exit(1);
+    }
+    print!("{}", t.digest);
+    if t.overflow > 0 {
+        eprintln!(
+            "note: ring wrapped — {} oldest events dropped, {} kept",
+            t.overflow, t.captured
+        );
+    }
+    eprintln!(
+        "== wrote {} events to {path} in {:.1}s ==",
+        t.captured,
+        started.elapsed().as_secs_f64()
+    );
 }

@@ -138,6 +138,8 @@ pub struct StreamingConfig {
     /// actual subflow paths (splitting rates across subflows when
     /// `subflows_per_interface > 1`).
     pub scenario: Option<Scenario>,
+    /// Telemetry sink threaded into the testbed (off by default).
+    pub telemetry: telemetry::TelemetryHandle,
 }
 
 impl StreamingConfig {
@@ -153,6 +155,7 @@ impl StreamingConfig {
             cwnd_conservation: true,
             subflows_per_interface: 1,
             scenario: None,
+            telemetry: telemetry::TelemetryHandle::off(),
         }
     }
 }
@@ -216,6 +219,7 @@ pub fn run_streaming(cfg: &StreamingConfig) -> StreamingOutcome {
         seed: cfg.seed,
         recorder: cfg.recorder,
         scenario,
+        telemetry: cfg.telemetry.clone(),
     };
     let player = PlayerConfig { video_secs: cfg.video_secs, ..PlayerConfig::default() };
     let mut tb = Testbed::new(tb_cfg, DashApp::new(player, 0));
@@ -349,6 +353,7 @@ pub fn run_browse(
         seed,
         recorder: RecorderConfig::default(),
         scenario: Scenario::default(),
+        telemetry: telemetry::TelemetryHandle::off(),
     };
     // The page content is fixed across runs/schedulers (seed 2014).
     let mut tb = Testbed::new(cfg, BrowserApp::new(PageModel::cnn_like(2014), 6));

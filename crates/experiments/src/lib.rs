@@ -19,6 +19,7 @@ pub mod common;
 pub mod downloads;
 pub mod dynamics;
 pub mod streaming;
+pub mod trace;
 pub mod web;
 pub mod wild;
 
@@ -26,6 +27,7 @@ pub use common::{
     parallel_map, parallel_map_workers, run_browse, run_streaming, run_wget, Effort,
     StreamingConfig, StreamingOutcome, BW_SET, VARIABLE_BW_SET,
 };
+pub use trace::{run_traced, TraceRun};
 
 /// An experiment: id, paper artifact, and the function that regenerates it.
 pub struct Experiment {

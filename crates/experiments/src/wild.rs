@@ -70,6 +70,7 @@ fn wild_testbed(
         seed,
         recorder: RecorderConfig::default(),
         scenario: dynamics,
+        telemetry: telemetry::TelemetryHandle::off(),
     }
 }
 

@@ -5,9 +5,10 @@
 
 use std::collections::VecDeque;
 
-use ecf_core::{Decision, PathSnapshot, SchedInput, Scheduler};
+use ecf_core::{Decision, PathSnapshot, SchedInput, Scheduler, Why};
 use simnet::Time;
 use tcp_model::TcpConfig;
+use telemetry::{Counter, EventKind, PathObs, SchedDecision, TelemetryHandle, MAX_PATHS};
 
 use crate::cc::{ca_increase, CcKind, CcView};
 use crate::segment::{AckInfo, ReqId, Segment, SubId};
@@ -103,6 +104,14 @@ pub struct Connection {
     snap_buf: Vec<PathSnapshot>,
     /// Scratch for coupled-CC views (avoids an allocation per CA ACK).
     cc_views: Vec<CcView>,
+    /// Telemetry sink (off by default; see [`Connection::set_telemetry`]).
+    tel: TelemetryHandle,
+    /// This connection's index in decision/lifecycle events.
+    tel_conn: u32,
+    /// Decision/wait counts not yet flushed to the telemetry counters:
+    /// plain adds on the hot path, one atomic add per counter at drop time
+    /// (see the `Drop` impl).
+    tel_pending: (u64, u64),
 }
 
 impl Connection {
@@ -133,7 +142,21 @@ impl Connection {
             stats: ConnStats::default(),
             snap_buf: Vec::with_capacity(subflow_paths.len()),
             cc_views: Vec::with_capacity(subflow_paths.len()),
+            tel: TelemetryHandle::off(),
+            tel_conn: 0,
+            tel_pending: (0, 0),
         }
+    }
+
+    /// Attach a telemetry sink. With an enabled handle every scheduler
+    /// invocation goes through [`Scheduler::select_explained`] and is
+    /// recorded as a `sched_decision` event (full inputs + provenance)
+    /// stamped with connection index `conn`; transport lifecycle events
+    /// (idle window resets, fast retransmits, penalizations) are recorded
+    /// too. With the default (off) handle the hot path is unchanged.
+    pub fn set_telemetry(&mut self, tel: TelemetryHandle, conn: u32) {
+        self.tel = tel;
+        self.tel_conn = conn;
     }
 
     /// Segments admitted to the send buffer but not yet assigned to any
@@ -239,6 +262,13 @@ impl Connection {
             self.admit();
         }
         self.rwnd_adv = ack.rwnd_free;
+        if out.fast_retx.is_some() {
+            self.tel.emit(
+                now.as_nanos(),
+                EventKind::FastRetx { conn: self.tel_conn, path: sub as u16 },
+            );
+            self.tel.incr(Counter::FastRetx);
+        }
         out.fast_retx
     }
 
@@ -306,9 +336,54 @@ impl Connection {
                 sf.cc.penalize();
                 sf.last_penalty = now;
                 self.stats.penalizations += 1;
+                self.tel.emit(
+                    now.as_nanos(),
+                    EventKind::Penalization { conn: self.tel_conn, path: holder as u16 },
+                );
+                self.tel.incr(Counter::Penalizations);
             }
         }
         queued
+    }
+
+    /// Record one scheduler verdict with its full inputs (from `snap_buf`)
+    /// and provenance. Only called when the sink is enabled, and hot when it
+    /// is — one event per decision — so it stays inline-friendly and sticks
+    /// to u64 arithmetic (no `Duration::as_micros` u128 division). Counter
+    /// bumps are batched by the caller.
+    fn emit_decision(&self, now: Time, decision: Decision, why: Why, k: u64, swnd_free: u64) {
+        self.tel.emit_with(|| {
+            let micros = |d: std::time::Duration| {
+                u32::try_from(d.as_secs() * 1_000_000 + u64::from(d.subsec_micros()))
+                    .unwrap_or(u32::MAX)
+            };
+            let sat32 = |v: u64| u32::try_from(v).unwrap_or(u32::MAX);
+            let mut paths = [PathObs::default(); MAX_PATHS];
+            let n = self.snap_buf.len().min(MAX_PATHS);
+            for (obs, s) in paths.iter_mut().zip(self.snap_buf.iter()) {
+                *obs = PathObs {
+                    path: s.id.0 as u16,
+                    usable: s.usable,
+                    srtt_us: micros(s.srtt),
+                    rttvar_us: micros(s.rtt_dev),
+                    cwnd: s.cwnd,
+                    inflight: s.inflight,
+                };
+            }
+            telemetry::Event {
+                t_ns: now.as_nanos(),
+                kind: EventKind::SchedDecision(SchedDecision {
+                    conn: self.tel_conn,
+                    scheduler: self.scheduler.name(),
+                    decision,
+                    why,
+                    queued_pkts: sat32(k),
+                    send_window_free_pkts: sat32(swnd_free),
+                    n_paths: n as u8,
+                    paths,
+                }),
+            }
+        });
     }
 
     /// Drive the scheduler until it stops producing transmissions. Returns
@@ -326,15 +401,20 @@ impl Connection {
     /// the segments to put on the wire, in order, to `plan` (not cleared
     /// here).
     pub fn try_send_into(&mut self, now: Time, plan: &mut Vec<Transmission>) {
-        for sf in &mut self.subflows {
+        for (i, sf) in self.subflows.iter_mut().enumerate() {
             // RFC 5681 restart applies to *idle* connections only: nothing
             // outstanding (Linux checks packets_out == 0). A flow that is
             // merely draining its window during recovery is not idle.
-            if sf.inflight_count() == 0 {
-                sf.cc.maybe_idle_reset(now);
+            if sf.inflight_count() == 0 && sf.cc.maybe_idle_reset(now) {
+                self.tel.emit(
+                    now.as_nanos(),
+                    EventKind::IwReset { conn: self.tel_conn, path: i as u16 },
+                );
+                self.tel.incr(Counter::IwResets);
             }
         }
         let mut blocked_noted = false;
+        let (mut tel_decisions, mut tel_waits) = (0u64, 0u64);
         loop {
             let before = plan.len();
             let mut reinjection_created = false;
@@ -386,7 +466,18 @@ impl Connection {
                     queued_pkts: k,
                     send_window_free_pkts: self.rwnd_adv - outstanding,
                 };
-                match self.scheduler.select(&input) {
+                // The off-handle check is one predictable branch; only an
+                // enabled sink pays for provenance and event construction.
+                let decision = if self.tel.is_enabled() {
+                    let (d, why) = self.scheduler.select_explained(&input);
+                    self.emit_decision(now, d, why, k, self.rwnd_adv - outstanding);
+                    tel_decisions += 1;
+                    tel_waits += u64::from(d == Decision::Wait);
+                    d
+                } else {
+                    self.scheduler.select(&input)
+                };
+                match decision {
                     Decision::Send(pid) => {
                         let sub = pid.0;
                         debug_assert!(sub < self.subflows.len(), "scheduler chose unknown path");
@@ -406,10 +497,34 @@ impl Connection {
                 break;
             }
         }
+        // Counter bumps accumulate in plain fields and flush as one atomic
+        // add per counter when the connection is dropped — the decision loop
+        // runs for every send opportunity and must not pay lock-prefixed
+        // RMWs per call.
+        if tel_decisions > 0 {
+            self.tel_pending.0 += tel_decisions;
+            self.tel_pending.1 += tel_waits;
+        }
         // RFC 2861 congestion-window validation on every subflow now that
         // this send opportunity has played out.
         for sf in &mut self.subflows {
             sf.cc.validate_app_limited(now, sf.inflight_count());
+        }
+    }
+}
+
+/// Flush the batched decision counters. Counter snapshots taken while a
+/// traced connection is still alive can lag by the unflushed tail; every
+/// in-tree consumer reads counters after the run (and its testbed) has been
+/// dropped.
+impl Drop for Connection {
+    fn drop(&mut self) {
+        let (decisions, waits) = self.tel_pending;
+        if decisions > 0 {
+            self.tel.add(Counter::Decisions, decisions);
+        }
+        if waits > 0 {
+            self.tel.add(Counter::WaitDecisions, waits);
         }
     }
 }

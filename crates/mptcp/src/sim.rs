@@ -16,6 +16,7 @@ use simnet::{
     DeliveryQueue, Engine, EventQueue, Model, Path, PathConfig, RunOutcome, Time, Verdict,
 };
 use tcp_model::{wire_size, MSS};
+use telemetry::{Counter, EventKind, LinkDir, TelemetryHandle};
 
 use crate::connection::{ConnConfig, Connection, Transmission};
 use crate::receiver::Receiver;
@@ -161,6 +162,11 @@ pub struct TestbedConfig {
     /// walks, loss-model swaps, and path outages. The default (empty)
     /// scenario is a fully static network.
     pub scenario: Scenario,
+    /// Telemetry sink shared by every component of the testbed. The default
+    /// (off) handle records nothing and adds no per-packet work; an enabled
+    /// handle collects scheduler decisions, transport lifecycle events, link
+    /// drops and counters for trace export.
+    pub telemetry: TelemetryHandle,
 }
 
 impl TestbedConfig {
@@ -177,6 +183,7 @@ impl TestbedConfig {
             seed,
             recorder: RecorderConfig::default(),
             scenario: Scenario::default(),
+            telemetry: TelemetryHandle::off(),
         }
     }
 }
@@ -214,6 +221,8 @@ pub struct World {
     completed_buf: Vec<ReqId>,
     sample_every: Duration,
     sampling: bool,
+    /// Telemetry sink for world-level events (rates, path state, RTOs).
+    tel: TelemetryHandle,
 }
 
 /// The application's handle into the running world.
@@ -247,13 +256,18 @@ impl World {
             .paths
             .iter()
             .enumerate()
-            .map(|(i, pc)| Path::new(pc, cfg.seed.wrapping_add(i as u64 * 7919)))
+            .map(|(i, pc)| {
+                let mut p = Path::new(pc, cfg.seed.wrapping_add(i as u64 * 7919));
+                p.attach_telemetry(&cfg.telemetry, i as u16);
+                p
+            })
             .collect();
         let path_cfgs = cfg.paths.clone();
         let conns: Vec<ConnState> = cfg
             .conns
             .iter_mut()
-            .map(|spec| {
+            .enumerate()
+            .map(|(ci, spec)| {
                 assert!(!spec.subflow_paths.is_empty());
                 let subflow_paths: Vec<(usize, Duration)> = spec
                     .subflow_paths
@@ -265,8 +279,10 @@ impl World {
                     Some(custom) => custom,
                     None => spec.scheduler.build(),
                 };
+                let mut sender = Connection::new(spec.cfg, scheduler, &subflow_paths);
+                sender.set_telemetry(cfg.telemetry.clone(), ci as u32);
                 ConnState {
-                    sender: Connection::new(spec.cfg, scheduler, &subflow_paths),
+                    sender,
                     receiver: Receiver::new(spec.subflow_paths.len(), spec.cfg.rwnd_segs),
                     primary_path: spec.subflow_paths[0],
                     delack_armed: vec![false; spec.subflow_paths.len()],
@@ -292,6 +308,7 @@ impl World {
             completed_buf: Vec::with_capacity(8),
             sample_every: cfg.recorder.sample_every,
             sampling: cfg.recorder.cwnd_traces || cfg.recorder.sndbuf_traces,
+            tel: cfg.telemetry.clone(),
         }
     }
 
@@ -400,6 +417,7 @@ impl World {
             // the RTO recover them.
             self.arm_rto(conn, t.sub, q);
         }
+        self.tel.add(Counter::SegsSent, plan.len() as u64);
     }
 
     fn arm_rto(&mut self, conn: ConnId, sub: SubId, q: &mut EventQueue<Event>) {
@@ -536,6 +554,9 @@ impl World {
     fn on_rto(&mut self, now: Time, conn: ConnId, sub: SubId, q: &mut EventQueue<Event>) {
         self.conns[conn].sender.subflows[sub].rto_scheduled = false;
         if let Some(seg) = self.conns[conn].sender.subflows[sub].on_rto_fire(now) {
+            self.tel
+                .emit(now.as_nanos(), EventKind::Rto { conn: conn as u32, path: sub as u16 });
+            self.tel.incr(Counter::Rtos);
             let path_idx = self.conns[conn].sender.subflows[sub].path;
             if self.path_up[path_idx] {
                 if let Verdict::Deliver { arrival } =
@@ -555,7 +576,18 @@ impl World {
     /// machinery; loss swaps install the new model on the forward link.
     fn apply_control(&mut self, now: Time, ev: ControlEvent, q: &mut EventQueue<Event>) {
         match ev.action {
-            Action::RateBps(bps) => self.paths[ev.path].fwd.set_rate_bps(bps),
+            Action::RateBps(bps) => {
+                self.paths[ev.path].fwd.set_rate_bps(bps);
+                self.tel.emit(
+                    now.as_nanos(),
+                    EventKind::RateChange {
+                        path: ev.path as u16,
+                        dir: LinkDir::Forward,
+                        rate_bps: bps,
+                    },
+                );
+                self.tel.incr(Counter::RateChanges);
+            }
             Action::OneWayDelay(d) => {
                 self.paths[ev.path].fwd.set_prop_delay(d);
                 self.paths[ev.path].rev.set_prop_delay(d);
@@ -579,9 +611,18 @@ impl World {
             for sub in subs {
                 if up {
                     self.conns[c].sender.on_subflow_up(sub);
+                    self.tel.emit(
+                        now.as_nanos(),
+                        EventKind::SubflowUp { conn: c as u32, path: sub as u16 },
+                    );
                 } else {
                     self.conns[c].sender.on_subflow_down(sub);
+                    self.tel.emit(
+                        now.as_nanos(),
+                        EventKind::SubflowDown { conn: c as u32, path: sub as u16 },
+                    );
                 }
+                self.tel.incr(Counter::SubflowTransitions);
             }
             // Reinjections (down) or fresh capacity (up) may unblock sends.
             self.pump_send(now, c, q);

@@ -92,6 +92,7 @@ fn single_path_baseline_matches_link_rate() {
         seed: 1,
         recorder: RecorderConfig::default(),
         scenario: Scenario::default(),
+        telemetry: Default::default(),
     };
     let bytes = 4 * 1024 * 1024;
     let mut tb = Testbed::new(cfg, SequentialDownloads::new(vec![bytes]));
@@ -131,6 +132,7 @@ fn survives_random_loss() {
         seed: 7,
         recorder: RecorderConfig::default(),
         scenario: Scenario::default(),
+        telemetry: Default::default(),
     };
     let mut tb = Testbed::new(cfg, SequentialDownloads::new(vec![1024 * 1024]));
     tb.run_until(Time::from_secs(120));
@@ -179,6 +181,7 @@ fn four_subflows_two_per_interface() {
         seed: 11,
         recorder: RecorderConfig::default(),
         scenario: Scenario::default(),
+        telemetry: Default::default(),
     };
     let mut tb = Testbed::new(cfg, SequentialDownloads::new(vec![1024 * 1024]));
     tb.run_until(Time::from_secs(60));
@@ -208,6 +211,7 @@ fn parallel_connections_share_paths() {
         seed: 13,
         recorder: RecorderConfig::default(),
         scenario: Scenario::default(),
+        telemetry: Default::default(),
     };
 
     /// Issues one download per connection at start.

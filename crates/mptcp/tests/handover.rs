@@ -29,6 +29,7 @@ fn testbed(dynamics: Scenario, kind: SchedulerKind) -> TestbedConfig {
         seed: 3,
         recorder: RecorderConfig::default(),
         scenario: dynamics,
+        telemetry: Default::default(),
     }
 }
 

@@ -14,6 +14,7 @@
 use std::collections::VecDeque;
 use std::time::Duration;
 
+use telemetry::{Counter, DropKind, EventKind, LinkDir, TelemetryHandle};
 use testkit::Rng;
 
 use crate::loss::LossModel;
@@ -153,6 +154,10 @@ pub struct Link {
     deterministic: bool,
     rng: Rng,
     stats: LinkStats,
+    /// Telemetry sink (off by default) plus this link's trace identity.
+    tel: TelemetryHandle,
+    tel_path: u16,
+    tel_dir: LinkDir,
 }
 
 impl Link {
@@ -177,7 +182,18 @@ impl Link {
             deterministic,
             rng: Rng::seed_from_u64(seed),
             stats: LinkStats::default(),
+            tel: TelemetryHandle::off(),
+            tel_path: 0,
+            tel_dir: LinkDir::Forward,
         }
+    }
+
+    /// Attach a telemetry sink; drops on this link will be reported as
+    /// `link_drop` events under the given path index and direction.
+    pub fn attach_telemetry(&mut self, tel: TelemetryHandle, path: u16, dir: LinkDir) {
+        self.tel = tel;
+        self.tel_path = path;
+        self.tel_dir = dir;
     }
 
     /// Current drain rate in bits per second.
@@ -265,6 +281,15 @@ impl Link {
         Duration::from_nanos(u64::try_from(nanos).unwrap_or(u64::MAX))
     }
 
+    #[cold]
+    fn drop_event(&self, now: Time, kind: DropKind) {
+        self.tel.emit(
+            now.as_nanos(),
+            EventKind::LinkDrop { path: self.tel_path, dir: self.tel_dir, kind },
+        );
+        self.tel.incr(Counter::LinkDrops);
+    }
+
     /// Offer a packet of `wire_bytes` to the link at time `now`.
     pub fn enqueue(&mut self, now: Time, wire_bytes: u32) -> Verdict {
         self.expire(now);
@@ -277,11 +302,13 @@ impl Link {
             let loss = self.loss;
             if loss.drop_packet(&mut self.loss_bad_state, &mut self.rng) {
                 self.stats.dropped_random += 1;
+                self.drop_event(now, DropKind::Random);
                 return Verdict::DropRandom;
             }
         }
         if self.queued_bytes + u64::from(wire_bytes) > self.cfg.queue_limit_bytes {
             self.stats.dropped_queue += 1;
+            self.drop_event(now, DropKind::Queue);
             return Verdict::DropQueue;
         }
         let start = self.busy_until.max(now);
@@ -504,7 +531,7 @@ mod tests {
         cfg.loss_rate = 0.05;
         let mut l = Link::new(cfg, 2017);
         let mut d: u64 = 0xcbf2_9ce4_8422_2325;
-        let mut fold = |d: &mut u64, x: u64| {
+        let fold = |d: &mut u64, x: u64| {
             for b in x.to_le_bytes() {
                 *d ^= u64::from(b);
                 *d = d.wrapping_mul(0x0000_0100_0000_01b3);
@@ -520,6 +547,24 @@ mod tests {
         }
         println!("lossy/jittery verdict digest: {d:#018x}");
         assert_eq!(d, 0xab2a_a11c_9c46_fcc3);
+    }
+
+    #[test]
+    fn drops_emit_telemetry_events() {
+        let tel = TelemetryHandle::with_capacity(64);
+        let mut l = mk(1.0, 5, u64::from(MTU) * 2);
+        l.attach_telemetry(tel.clone(), 3, LinkDir::Forward);
+        l.enqueue(Time::ZERO, MTU);
+        l.enqueue(Time::ZERO, MTU);
+        l.enqueue(Time::from_micros(7), MTU); // overflow → queue drop
+        let evs = tel.events();
+        assert_eq!(evs.len(), 1);
+        assert_eq!(evs[0].t_ns, 7_000);
+        assert!(matches!(
+            evs[0].kind,
+            EventKind::LinkDrop { path: 3, dir: LinkDir::Forward, kind: DropKind::Queue }
+        ));
+        assert_eq!(tel.counter(Counter::LinkDrops), 1);
     }
 
     #[test]

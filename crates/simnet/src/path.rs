@@ -102,6 +102,13 @@ impl Path {
             rev: Link::new(cfg.rev.clone(), seed.wrapping_mul(2).wrapping_add(2)),
         }
     }
+
+    /// Attach a telemetry sink to both directions; drops will be reported
+    /// under path index `idx`.
+    pub fn attach_telemetry(&mut self, tel: &telemetry::TelemetryHandle, idx: u16) {
+        self.fwd.attach_telemetry(tel.clone(), idx, telemetry::LinkDir::Forward);
+        self.rev.attach_telemetry(tel.clone(), idx, telemetry::LinkDir::Reverse);
+    }
 }
 
 #[cfg(test)]

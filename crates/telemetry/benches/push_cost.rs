@@ -1,0 +1,60 @@
+//! One-off micro-measurement of emit cost (not a tracked bench).
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+use telemetry::{EventKind, PathObs, SchedDecision, TelemetryHandle, MAX_PATHS};
+
+fn decision(i: u64) -> EventKind {
+    let mut paths = [PathObs::default(); MAX_PATHS];
+    for (p, obs) in paths.iter_mut().enumerate() {
+        *obs = PathObs { path: p as u16, usable: true, srtt_us: 20_000 + i as u32, rttvar_us: 5_000, cwnd: 10, inflight: 3 };
+    }
+    EventKind::SchedDecision(SchedDecision {
+        conn: 0, scheduler: "ecf",
+        decision: ecf_core::Decision::Send(ecf_core::PathId(0)),
+        why: ecf_core::Why::FastestFree,
+        queued_pkts: i as u32, send_window_free_pkts: 100, n_paths: 2, paths,
+    })
+}
+
+fn main() {
+    println!("Event size: {} bytes", std::mem::size_of::<telemetry::Event>());
+    for cap in [1usize << 10, 1 << 13, 1 << 17] {
+        let tel = TelemetryHandle::with_capacity(cap);
+        let n = 1_000_000u64;
+        // warm
+        for i in 0..10_000 { tel.emit(i, decision(i)); }
+        let t0 = Instant::now();
+        for i in 0..n { tel.emit(i, decision(i)); }
+        let el = t0.elapsed();
+        println!("cap {:>8}: {:.1} ns/emit", cap, el.as_nanos() as f64 / n as f64);
+    }
+    // build-only cost
+    let n = 1_000_000u64;
+    let t0 = Instant::now();
+    for i in 0..n { std::hint::black_box(decision(i)); }
+    println!("build only: {:.1} ns", t0.elapsed().as_nanos() as f64 / n as f64);
+
+    // atomic RMW floor: one uncontended fetch_add per iteration
+    let head = AtomicU64::new(0);
+    let t0 = Instant::now();
+    for _ in 0..n { std::hint::black_box(head.fetch_add(1, Ordering::Relaxed)); }
+    println!("fetch_add only: {:.1} ns", t0.elapsed().as_nanos() as f64 / n as f64);
+
+    // plain store floor: two relaxed stores (the claim/done pair)
+    let seq = AtomicU64::new(0);
+    let t0 = Instant::now();
+    for i in 0..n {
+        seq.store(i * 2 + 1, Ordering::Relaxed);
+        seq.store(i * 2 + 2, Ordering::Release);
+    }
+    println!("store pair only: {:.1} ns", t0.elapsed().as_nanos() as f64 / n as f64);
+
+    // memcpy floor: copy a built event into a fixed cell
+    let mut cell = std::mem::MaybeUninit::<telemetry::Event>::uninit();
+    let t0 = Instant::now();
+    for i in 0..n {
+        cell.write(telemetry::Event { t_ns: i, kind: decision(i) });
+        std::hint::black_box(&mut cell);
+    }
+    println!("build+write cell: {:.1} ns", t0.elapsed().as_nanos() as f64 / n as f64);
+}

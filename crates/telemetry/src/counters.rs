@@ -1,0 +1,126 @@
+//! Monotonic named counters.
+//!
+//! A fixed enum of counters backed by one atomic each — incrementing is a
+//! single relaxed `fetch_add`, snapshotting is a loop of loads. Unlike the
+//! event ring these never drop or wrap, so they stay truthful even when the
+//! ring has overflowed.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// All counters the transport and simulator maintain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum Counter {
+    /// Scheduler invocations (one per segment placement attempt).
+    Decisions = 0,
+    /// Decisions that came back `Wait` (ECF/BLEST holding back).
+    WaitDecisions,
+    /// Segments handed to a subflow for (re)transmission.
+    SegsSent,
+    /// Packets dropped by simulated links (queue + random).
+    LinkDrops,
+    /// Retransmission timeouts that fired.
+    Rtos,
+    /// Fast retransmits triggered by duplicate ACKs.
+    FastRetx,
+    /// Receive-window penalizations applied to subflows.
+    Penalizations,
+    /// Post-idle congestion-window resets.
+    IwResets,
+    /// Subflow up/down transitions.
+    SubflowTransitions,
+    /// Link rate changes applied by scenario dynamics.
+    RateChanges,
+}
+
+impl Counter {
+    /// Number of counters.
+    pub const COUNT: usize = 10;
+
+    /// Every counter, in stable report order.
+    pub const ALL: [Counter; Counter::COUNT] = [
+        Counter::Decisions,
+        Counter::WaitDecisions,
+        Counter::SegsSent,
+        Counter::LinkDrops,
+        Counter::Rtos,
+        Counter::FastRetx,
+        Counter::Penalizations,
+        Counter::IwResets,
+        Counter::SubflowTransitions,
+        Counter::RateChanges,
+    ];
+
+    /// Stable snake_case name for reports and trace digests.
+    pub fn name(self) -> &'static str {
+        match self {
+            Counter::Decisions => "decisions",
+            Counter::WaitDecisions => "wait_decisions",
+            Counter::SegsSent => "segs_sent",
+            Counter::LinkDrops => "link_drops",
+            Counter::Rtos => "rtos",
+            Counter::FastRetx => "fast_retx",
+            Counter::Penalizations => "penalizations",
+            Counter::IwResets => "iw_resets",
+            Counter::SubflowTransitions => "subflow_transitions",
+            Counter::RateChanges => "rate_changes",
+        }
+    }
+}
+
+/// The counter bank: one atomic per [`Counter`].
+#[derive(Debug)]
+pub struct Counters {
+    vals: [AtomicU64; Counter::COUNT],
+}
+
+impl Default for Counters {
+    fn default() -> Self {
+        Counters { vals: std::array::from_fn(|_| AtomicU64::new(0)) }
+    }
+}
+
+impl Counters {
+    /// Add `n` to one counter.
+    #[inline]
+    pub fn add(&self, c: Counter, n: u64) {
+        self.vals[c as usize].fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value of one counter.
+    pub fn get(&self, c: Counter) -> u64 {
+        self.vals[c as usize].load(Ordering::Relaxed)
+    }
+
+    /// Snapshot of all counters in [`Counter::ALL`] order.
+    pub fn snapshot(&self) -> Vec<(&'static str, u64)> {
+        Counter::ALL.iter().map(|&c| (c.name(), self.get(c))).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_covers_every_variant_with_unique_names() {
+        let mut names: Vec<&str> = Counter::ALL.iter().map(|c| c.name()).collect();
+        assert_eq!(names.len(), Counter::COUNT);
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), Counter::COUNT);
+    }
+
+    #[test]
+    fn add_and_snapshot() {
+        let c = Counters::default();
+        c.add(Counter::Decisions, 3);
+        c.add(Counter::WaitDecisions, 1);
+        c.add(Counter::Decisions, 2);
+        assert_eq!(c.get(Counter::Decisions), 5);
+        let snap = c.snapshot();
+        assert_eq!(snap[0], ("decisions", 5));
+        assert_eq!(snap[1], ("wait_decisions", 1));
+        assert_eq!(snap[4], ("rtos", 0));
+    }
+}

@@ -198,6 +198,7 @@ mod tests {
             seed,
             recorder: RecorderConfig::default(),
             scenario: Scenario::default(),
+            telemetry: Default::default(),
         };
         let mut tb = Testbed::new(cfg, BrowserApp::new(PageModel::cnn_like(77), 6));
         tb.run_until(Time::from_secs(300));

@@ -60,22 +60,56 @@ impl Application for OneShot {
 }
 
 fn run(spec: ConnSpec, label: &str) {
+    // An enabled handle records every scheduler verdict with its inputs and
+    // provenance; the default (off) handle would make all of this free.
+    let tel = TelemetryHandle::with_capacity(1 << 16);
     let cfg = TestbedConfig {
         paths: vec![PathConfig::wifi(0.3), PathConfig::lte(8.6)],
         conns: vec![spec],
         seed: 5,
         recorder: RecorderConfig::default(),
         scenario: Scenario::default(),
+        telemetry: tel.clone(),
     };
     let mut tb = Testbed::new(cfg, OneShot(None));
     tb.run_until(Time::from_secs(120));
     let t = tb.app().0.expect("download finishes").as_secs_f64();
     let split: Vec<u64> =
         (0..2).map(|s| tb.world().sender(0).subflows[s].stats().segs_sent).collect();
+    // Decision counters are flushed when the connections are dropped, so
+    // read them after the testbed is done.
+    drop(tb);
     println!(
-        "{label:>10}: {t:5.2} s   wifi/lte segments = {}/{}",
-        split[0], split[1]
+        "{label:>10}: {t:5.2} s   wifi/lte segments = {}/{}   decisions = {} ({} waits)",
+        split[0],
+        split[1],
+        tel.counter(Counter::Decisions),
+        tel.counter(Counter::WaitDecisions),
     );
+    // A one-liner per decision, straight from the trace. Built-ins report
+    // *why* (which rule fired); a custom scheduler that only implements
+    // `select` shows up as "unspecified" until it overrides
+    // `select_explained`.
+    for ev in tel.events().iter().filter(|e| e.label() == "sched_decision").take(3) {
+        if let EventKind::SchedDecision(d) = ev.kind {
+            let verdict = match d.decision {
+                Decision::Send(p) => format!("send path {}", p.0),
+                Decision::Wait => "wait".into(),
+                Decision::Blocked => "blocked".into(),
+            };
+            println!(
+                "            t={:7.3}s  {:<14} why={:<20} k={:<3} paths={:?}",
+                ev.t_ns as f64 / 1e9,
+                verdict,
+                d.why.label(),
+                d.queued_pkts,
+                d.paths[..d.n_paths as usize]
+                    .iter()
+                    .map(|p| format!("{}ms cwnd {}/{}", p.srtt_us / 1000, p.inflight, p.cwnd))
+                    .collect::<Vec<_>>(),
+            );
+        }
+    }
 }
 
 fn main() {

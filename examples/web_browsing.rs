@@ -29,6 +29,7 @@ fn main() {
             seed: 7,
             recorder: RecorderConfig::default(),
             scenario: Scenario::default(),
+            telemetry: TelemetryHandle::off(),
         };
         let mut tb = Testbed::new(cfg, BrowserApp::new(page.clone(), 6));
         tb.run_until(Time::from_secs(600));

@@ -49,6 +49,7 @@ if not isinstance(results, list) or not results:
 names = {r.get("name") for r in results}
 for want in (
     "sim_throughput/streaming_0.3_8.6",
+    "sim_throughput/streaming_0.3_8.6_telemetry",
     "sim_throughput/streaming_0.3_8.6_scenario",
     "sim_throughput/browse_6conn",
 ):
@@ -66,6 +67,37 @@ PY
 
 check_bench_json "$tmp_json" "smoke bench JSON"
 check_bench_json "BENCH.json" "committed BENCH.json"
+
+echo "== telemetry trace smoke (repro --trace, quick) =="
+tmp_trace="$(mktemp /tmp/trace-smoke.XXXXXX.jsonl)"
+trap 'rm -f "$tmp_json" "$tmp_trace"' EXIT
+cargo run --offline --release -p experiments --bin repro -- \
+    --trace "$tmp_trace" --quick > /dev/null
+python3 - "$tmp_trace" <<'PY'
+import json, sys
+path = sys.argv[1]
+lines = open(path).read().splitlines()
+if not lines:
+    sys.exit("verify.sh: trace file is empty")
+decisions = 0
+for i, line in enumerate(lines):
+    try:
+        ev = json.loads(line)
+    except Exception as e:
+        sys.exit(f"verify.sh: trace line {i + 1} is not valid JSON: {e}")
+    if "t_us" not in ev or "ev" not in ev:
+        sys.exit(f"verify.sh: trace line {i + 1} lacks t_us/ev: {line[:80]}")
+    if ev["ev"] == "sched_decision":
+        decisions += 1
+        for field in ("sched", "decision", "why", "queued_pkts", "paths"):
+            if field not in ev:
+                sys.exit(f"verify.sh: sched_decision line {i + 1} lacks {field}")
+        if not ev["paths"] or "srtt_us" not in ev["paths"][0]:
+            sys.exit(f"verify.sh: sched_decision line {i + 1} lacks path inputs")
+if decisions == 0:
+    sys.exit("verify.sh: trace has no sched_decision events")
+print(f"verify.sh: trace ok ({len(lines)} events, {decisions} decisions)")
+PY
 
 echo "== scenario dynamics smoke (dyn_handover, quick) =="
 # --no-save: the committed results/dyn_handover.txt is the full-effort run.

@@ -11,6 +11,8 @@
 //!   the simulated WiFi+LTE testbed;
 //! * [`net`] ([`simnet`]) — the deterministic discrete-event network
 //!   simulator underneath;
+//! * [`telemetry`] — zero-cost-when-off observability: scheduler decision
+//!   provenance, counters, and deterministic JSONL/CSV trace export;
 //! * [`video`] ([`dash`]) and [`web`] ([`webload`]) — the paper's workloads;
 //! * [`experiments`] — one runner per table/figure of the paper.
 //!
@@ -42,6 +44,7 @@
 pub use dash as video;
 pub use ecf_core as scheduler;
 pub use experiments;
+pub use telemetry;
 pub use metrics;
 pub use mptcp as transport;
 pub use scenario as dynamics;
@@ -53,8 +56,10 @@ pub use webload as web;
 pub mod prelude {
     pub use dash::{AbrKind, DashApp, Player, PlayerConfig};
     pub use ecf_core::{
-        Decision, Ecf, EcfConfig, PathId, PathSnapshot, SchedInput, Scheduler, SchedulerKind,
+        Decision, Ecf, EcfConfig, EcfTerms, PathId, PathSnapshot, SchedInput, Scheduler,
+        SchedulerKind, Why,
     };
+    pub use telemetry::{Counter, Event, EventKind, TelemetryHandle};
     pub use mptcp::{
         Api, Application, CcKind, ConnConfig, ConnSpec, RecorderConfig, Testbed, TestbedConfig,
     };

@@ -107,6 +107,7 @@ fn web_page_load_improves_with_ecf_under_heterogeneity() {
             seed: 7,
             recorder: RecorderConfig::default(),
             scenario: Scenario::default(),
+            telemetry: TelemetryHandle::off(),
         };
         let mut tb = Testbed::new(cfg, BrowserApp::new(PageModel::cnn_like(2014), 6));
         tb.run_until(Time::from_secs(600));
@@ -158,6 +159,7 @@ fn four_subflows_keep_the_ecf_advantage() {
             seed: 4,
             recorder: RecorderConfig::default(),
             scenario: Scenario::default(),
+            telemetry: TelemetryHandle::off(),
         };
         let player = PlayerConfig { video_secs: 90.0, ..PlayerConfig::default() };
         let mut tb = Testbed::new(cfg, DashApp::new(player, 0));
