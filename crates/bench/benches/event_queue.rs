@@ -1,0 +1,113 @@
+//! Raw event-queue throughput: calendar wheel vs the binary heap it
+//! replaced.
+//!
+//! The workload models the many-connection steady state (`browse_24conn`):
+//! thousands of pending events — per-packet link deliveries a few hundred
+//! microseconds out, delayed-ACK timers tens of milliseconds out, RTO
+//! timers hundreds of milliseconds out — churned pop-one/push-one the way
+//! the engine drives its queue. At this depth every heap op walks a
+//! log₂(n)-deep comparison path while the wheel's schedule/pop stay O(1),
+//! which is the gap this bench pins (the wheel is expected to be well
+//! over 1.5× the heap here; see DESIGN.md §9).
+//!
+//! The heap implementation below is a faithful replica of the pre-wheel
+//! `simnet::EventQueue` (`BinaryHeap<Reverse<(Time, seq, event)>>`); the
+//! in-tree original now lives behind `#[cfg(test)]` as the property-test
+//! oracle and is not visible to benches.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::time::Duration;
+
+use simnet::{EventQueue, Time};
+use testkit::bench::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use testkit::Rng;
+
+/// Pending events held during the churn: roughly 24 browse connections'
+/// worth of in-flight deliveries and timers.
+const DEPTH: usize = 16_384;
+/// Pop-one/push-one operations timed per iteration.
+const CHURN: usize = 65_536;
+
+/// The pre-PR-5 queue: a min-heap ordered by `(time, seq)`.
+struct HeapQueue {
+    heap: BinaryHeap<Reverse<(Time, u64, u64)>>,
+    next_seq: u64,
+}
+
+impl HeapQueue {
+    fn new() -> Self {
+        HeapQueue { heap: BinaryHeap::new(), next_seq: 0 }
+    }
+
+    fn schedule(&mut self, at: Time, event: u64) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Reverse((at, seq, event)));
+    }
+
+    fn pop(&mut self) -> Option<(Time, u64)> {
+        self.heap.pop().map(|Reverse((at, _, ev))| (at, ev))
+    }
+}
+
+/// One draw from the delay mix, proportioned like the measured simulator
+/// event mix (~97% link deliveries a few hundred µs out, ~3% delayed-ACK
+/// timers, a few per mille RTO-range timers). Identical sequence for both
+/// queues.
+fn delay(rng: &mut Rng) -> Duration {
+    match rng.gen_range(0..1000u32) {
+        0..=966 => Duration::from_micros(rng.gen_range(150..900u64)),
+        967..=996 => Duration::from_micros(rng.gen_range(10_000..60_000u64)),
+        _ => Duration::from_micros(rng.gen_range(200_000..800_000u64)),
+    }
+}
+
+fn bench_event_queue(c: &mut Criterion) {
+    let mut group = c.benchmark_group("event_queue");
+    group.sample_size(15);
+    group.throughput(Throughput::Elements(CHURN as u64));
+
+    group.bench_function("wheel_churn_16k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            let mut rng = Rng::seed_from_u64(24);
+            let mut now = Time::ZERO;
+            for i in 0..DEPTH {
+                q.schedule(now + delay(&mut rng), i as u64);
+            }
+            let mut acc = 0u64;
+            for _ in 0..CHURN {
+                let (at, ev) = q.pop().unwrap();
+                now = at;
+                acc ^= ev;
+                q.schedule(now + delay(&mut rng), ev);
+            }
+            black_box(acc)
+        })
+    });
+
+    group.bench_function("heap_churn_16k", |b| {
+        b.iter(|| {
+            let mut q = HeapQueue::new();
+            let mut rng = Rng::seed_from_u64(24);
+            let mut now = Time::ZERO;
+            for i in 0..DEPTH {
+                q.schedule(now + delay(&mut rng), i as u64);
+            }
+            let mut acc = 0u64;
+            for _ in 0..CHURN {
+                let (at, ev) = q.pop().unwrap();
+                now = at;
+                acc ^= ev;
+                q.schedule(now + delay(&mut rng), ev);
+            }
+            black_box(acc)
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_event_queue);
+criterion_main!(benches);

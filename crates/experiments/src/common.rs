@@ -339,7 +339,21 @@ pub fn run_browse(
     scheduler: SchedulerKind,
     seed: u64,
 ) -> Testbed<BrowserApp> {
-    let conns = (0..6)
+    run_browse_n(wifi, lte, scheduler, seed, 6)
+}
+
+/// [`run_browse`] generalized to `n_conns` parallel connections sharing the
+/// same two paths — the many-connection scaling shape (one engine, many
+/// interleaved flows) the `browse_24conn` benchmark tracks. `n_conns = 6`
+/// is exactly the classic browse run.
+pub fn run_browse_n(
+    wifi: f64,
+    lte: f64,
+    scheduler: SchedulerKind,
+    seed: u64,
+    n_conns: usize,
+) -> Testbed<BrowserApp> {
+    let conns = (0..n_conns)
         .map(|_| ConnSpec {
             cfg: ConnConfig::default(),
             scheduler,
@@ -356,7 +370,7 @@ pub fn run_browse(
         telemetry: telemetry::TelemetryHandle::off(),
     };
     // The page content is fixed across runs/schedulers (seed 2014).
-    let mut tb = Testbed::new(cfg, BrowserApp::new(PageModel::cnn_like(2014), 6));
+    let mut tb = Testbed::new(cfg, BrowserApp::new(PageModel::cnn_like(2014), n_conns));
     tb.run_until(Time::from_secs(600));
     tb
 }

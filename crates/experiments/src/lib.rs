@@ -24,7 +24,7 @@ pub mod web;
 pub mod wild;
 
 pub use common::{
-    parallel_map, parallel_map_workers, run_browse, run_streaming, run_wget, Effort,
+    parallel_map, parallel_map_workers, run_browse, run_browse_n, run_streaming, run_wget, Effort,
     StreamingConfig, StreamingOutcome, BW_SET, VARIABLE_BW_SET,
 };
 pub use trace::{run_traced, TraceRun};

@@ -123,9 +123,13 @@ impl Connection {
         subflow_paths: &[(usize, std::time::Duration)],
     ) -> Self {
         assert!(!subflow_paths.is_empty(), "a connection needs at least one subflow");
+        // A subflow can never hold more unacked segments than the meta
+        // buffers admit outstanding; reserving that bound up front keeps the
+        // inflight deque from ever reallocating mid-run.
+        let inflight_cap = cfg.sndbuf_segs.min(cfg.rwnd_segs) as usize;
         let subflows = subflow_paths
             .iter()
-            .map(|&(path, hs_rtt)| Subflow::new(path, cfg.tcp, hs_rtt))
+            .map(|&(path, hs_rtt)| Subflow::new(path, cfg.tcp, hs_rtt, inflight_cap))
             .collect();
         Connection {
             cfg,
@@ -414,6 +418,12 @@ impl Connection {
             }
         }
         let mut blocked_noted = false;
+        // Tracks whether `snap_buf` still mirrors the subflows exactly. The
+        // inner loop updates the chosen path's in-flight count in place, so
+        // after a pass that only scheduled new data the buffer is already
+        // identical to what a rebuild would produce; only reinjection sends
+        // and penalization (cwnd change in `on_rwnd_blocked`) invalidate it.
+        let mut snap_valid = false;
         let (mut tel_decisions, mut tel_waits) = (0u64, 0u64);
         loop {
             let before = plan.len();
@@ -429,9 +439,34 @@ impl Connection {
                 let seg = self.subflows[sub].register_send(now, dsn, true);
                 plan.push(Transmission { sub, seg });
                 self.reinject_queue.pop_front();
+                snap_valid = false;
             }
 
-            // Phase 2: new data through the scheduler.
+            // Phase 2: new data through the scheduler. The path snapshot is
+            // built once per pass — and only when there is data to schedule
+            // (an ACK clocking an idle sender skips it entirely): within the
+            // inner loop the only snapshot-visible state that moves is the
+            // chosen subflow's in-flight count (register_send pushes one
+            // segment; RTT, cwnd and slow-start state only change on ACKs),
+            // so it is updated in place below instead of re-reading every
+            // subflow per packet. Anything that can change other fields
+            // (penalization, idle reset, reinjection) happens outside this
+            // loop, and the outer retry pass rebuilds the snapshot.
+            if self.unassigned_segs() > 0 && !snap_valid {
+                self.snap_buf.clear();
+                self.snap_buf.extend(self.subflows.iter().enumerate().map(|(i, sf)| {
+                    PathSnapshot {
+                        id: ecf_core::PathId(i),
+                        srtt: sf.cc.rtt.srtt(),
+                        rtt_dev: sf.cc.rtt.rttvar(),
+                        cwnd: sf.cc.cwnd_pkts(),
+                        inflight: sf.inflight_count(),
+                        in_slow_start: sf.cc.in_slow_start(),
+                        usable: sf.usable,
+                    }
+                }));
+                snap_valid = true;
+            }
             loop {
                 let k = self.unassigned_segs();
                 if k == 0 {
@@ -447,20 +482,10 @@ impl Connection {
                         self.scheduler.on_window_blocked();
                     }
                     reinjection_created |= self.on_rwnd_blocked(now);
+                    // Penalization may have shrunk a cwnd under us.
+                    snap_valid = false;
                     break;
                 }
-                self.snap_buf.clear();
-                self.snap_buf.extend(self.subflows.iter().enumerate().map(|(i, sf)| {
-                    PathSnapshot {
-                        id: ecf_core::PathId(i),
-                        srtt: sf.cc.rtt.srtt(),
-                        rtt_dev: sf.cc.rtt.rttvar(),
-                        cwnd: sf.cc.cwnd_pkts(),
-                        inflight: sf.inflight_count(),
-                        in_slow_start: sf.cc.in_slow_start(),
-                        usable: sf.usable,
-                    }
-                }));
                 let input = SchedInput {
                     paths: &self.snap_buf,
                     queued_pkts: k,
@@ -483,6 +508,7 @@ impl Connection {
                         debug_assert!(sub < self.subflows.len(), "scheduler chose unknown path");
                         let seg = self.subflows[sub].register_send(now, self.next_dsn, false);
                         self.next_dsn += 1;
+                        self.snap_buf[sub].inflight += 1;
                         plan.push(Transmission { sub, seg });
                     }
                     Decision::Wait => {

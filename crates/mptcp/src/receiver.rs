@@ -16,7 +16,7 @@
 //! (buffer capacity minus out-of-order segments held — the application
 //! consumes in-order data immediately, as a streaming/browser client does).
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::VecDeque;
 use std::time::Duration;
 
 use simnet::Time;
@@ -130,13 +130,82 @@ impl MetaBuffer {
     }
 }
 
+/// The subflow-level out-of-order buffer: the same sparse-ring shape as
+/// [`MetaBuffer`], indexed relative to the subflow's `sub_next` (slot 0 ↔
+/// `sub_next`), holding `(dsn, arrival)` per buffered segment. Subflow gaps
+/// only come from drops, so the ring is short-lived and narrow — but under
+/// loss every buffered segment used to pay a `BTreeMap` node allocation and
+/// pointer walk; the ring is O(1) per operation and allocation-free once it
+/// has grown to its high-water width, which is what keeps the steady-state
+/// deliver loop off the global allocator.
+///
+/// Invariant between calls: slot 0 is empty (the drain in
+/// [`Receiver::on_segment_into`] always consumes the filled prefix).
+#[derive(Debug, Clone, Default)]
+struct SubBuffer {
+    slots: VecDeque<Option<(u64, Time)>>,
+    held: u64,
+}
+
+impl SubBuffer {
+    /// Number of buffered (out-of-order) subflow segments.
+    fn len(&self) -> u64 {
+        self.held
+    }
+
+    /// True when no segments are parked (no open hole on this subflow).
+    fn is_empty(&self) -> bool {
+        self.held == 0
+    }
+
+    /// Record `(dsn, arrival)` for the ssn at `offset` slots past
+    /// `sub_next`. A duplicate keeps the first arrival (same semantics as
+    /// the `or_insert` this replaces) and reports `false`.
+    fn insert(&mut self, offset: u64, dsn: u64, arrival: Time) -> bool {
+        let idx = offset as usize;
+        if self.slots.len() <= idx {
+            self.slots.resize(idx + 1, None);
+        }
+        if self.slots[idx].is_some() {
+            return false;
+        }
+        self.slots[idx] = Some((dsn, arrival));
+        self.held += 1;
+        true
+    }
+
+    /// Take the head slot's record if it is filled; leaves the ring alone
+    /// when the head is a hole. The caller advances `sub_next` on `Some`.
+    fn take_head(&mut self) -> Option<(u64, Time)> {
+        match self.slots.front() {
+            Some(Some(_)) => {
+                let v = self.slots.pop_front().flatten();
+                self.held -= 1;
+                v
+            }
+            _ => None,
+        }
+    }
+
+    /// Shift the ring base past an empty head slot: called when `sub_next`
+    /// advances through an in-order (never buffered) arrival.
+    fn advance_empty_head(&mut self) {
+        if let Some(front) = self.slots.pop_front() {
+            debug_assert!(front.is_none(), "slot 0 must be empty between calls");
+        }
+    }
+}
+
 /// The connection receiver.
 pub struct Receiver {
     rwnd_cap: u64,
     /// Per-subflow next expected ssn.
     sub_next: Vec<u64>,
-    /// Per-subflow out-of-order buffer: ssn → (dsn, arrival).
-    sub_buf: Vec<BTreeMap<u64, (u64, Time)>>,
+    /// Per-subflow out-of-order buffer (ssn-keyed sparse ring).
+    sub_buf: Vec<SubBuffer>,
+    /// Total segments held across all subflow buffers, so the advertised
+    /// window is O(1) to compute (it rides on every ACK).
+    sub_held: u64,
     /// Next data sequence number expected in order.
     meta_next: u64,
     /// Meta reorder buffer (dsn → earliest arrival, keyed by offset).
@@ -154,7 +223,8 @@ impl Receiver {
         Receiver {
             rwnd_cap,
             sub_next: vec![0; n_subflows],
-            sub_buf: vec![BTreeMap::new(); n_subflows],
+            sub_buf: vec![SubBuffer::default(); n_subflows],
+            sub_held: 0,
             meta_next: 0,
             meta_buf: MetaBuffer::default(),
             pending_ack: vec![0; n_subflows],
@@ -168,11 +238,15 @@ impl Receiver {
     }
 
     /// Current advertised window (free reorder-buffer space). Segments held
-    /// at either reassembly level occupy the buffer.
+    /// at either reassembly level occupy the buffer. O(1): both levels keep
+    /// occupancy counters, and this is computed for every ACK sent.
     pub fn rwnd_free(&self) -> u64 {
-        let held = self.meta_buf.len()
-            + self.sub_buf.iter().map(|b| b.len() as u64).sum::<u64>();
-        self.rwnd_cap.saturating_sub(held)
+        debug_assert_eq!(
+            self.sub_held,
+            self.sub_buf.iter().map(SubBuffer::len).sum::<u64>(),
+            "sub_held out of sync with the subflow rings"
+        );
+        self.rwnd_cap.saturating_sub(self.meta_buf.len() + self.sub_held)
     }
 
     /// Lifetime counters.
@@ -219,6 +293,7 @@ impl Receiver {
         if seg.ssn == self.sub_next[sub] {
             let filled_gap = !self.sub_buf[sub].is_empty();
             self.sub_next[sub] += 1;
+            self.sub_buf[sub].advance_empty_head();
             if seg.dsn == self.meta_next {
                 // Fast path: in order at both levels. Deliver directly,
                 // sparing the reorder buffer an insert/remove round trip.
@@ -236,10 +311,8 @@ impl Receiver {
                 duplicate |= !self.admit_meta(seg.dsn, now);
             }
             // Drain any subflow-level buffered continuation.
-            while let Some(&(dsn, arrival)) =
-                self.sub_buf[sub].get(&self.sub_next[sub])
-            {
-                self.sub_buf[sub].remove(&self.sub_next[sub]);
+            while let Some((dsn, arrival)) = self.sub_buf[sub].take_head() {
+                self.sub_held -= 1;
                 self.sub_next[sub] += 1;
                 self.admit_meta(dsn, arrival);
             }
@@ -248,8 +321,13 @@ impl Receiver {
                 ack_now = self.pending_ack[sub] >= Self::DELACK_SEGS;
             }
         } else if seg.ssn > self.sub_next[sub] {
-            // Hole on this subflow (a drop): buffer and dup-ack.
-            self.sub_buf[sub].entry(seg.ssn).or_insert((seg.dsn, now));
+            // Hole on this subflow (a drop): buffer and dup-ack. A second
+            // copy of an already-buffered ssn keeps the first arrival, as
+            // the map `or_insert` this replaces did.
+            let offset = seg.ssn - self.sub_next[sub];
+            if self.sub_buf[sub].insert(offset, seg.dsn, now) {
+                self.sub_held += 1;
+            }
         } else {
             // Old ssn: spurious subflow retransmission.
             duplicate = true;

@@ -400,6 +400,11 @@ impl World {
         plan: &[Transmission],
         q: &mut EventQueue<Event>,
     ) {
+        if plan.is_empty() {
+            // Most ACKs clock in with nothing new to send; skip the counter
+            // add (a no-op of value 0) and the loop setup entirely.
+            return;
+        }
         for t in plan {
             let path_idx = self.conns[conn].sender.subflows[t.sub].path;
             // A down path swallows everything (radio gone); recovery runs
@@ -460,16 +465,20 @@ impl World {
         q: &mut EventQueue<Event>,
     ) {
         self.completed_buf.clear();
-        // Map the dsn to its request for last-packet bookkeeping.
+        // Map the dsn to its request for last-packet bookkeeping. Response
+        // ranges are assigned sequentially, so the bounds deque is sorted by
+        // `last` with disjoint ranges: the first entry whose `last` covers
+        // the dsn is the only candidate, and a single record lookup rules
+        // out dsns below its range (a retransmission of already-completed
+        // data). In-order traffic matches the front entry immediately.
         let owner = self.conns[conn]
             .sender
             .response_bounds
             .iter()
-            .find(|&&(req, _)| {
-                let r = &self.recorder.requests[req as usize];
-                seg.dsn >= r.first_dsn && seg.dsn <= r.last_dsn
-            })
-            .map(|&(req, _)| req);
+            .find(|&&(_, last)| seg.dsn <= last)
+            .and_then(|&(req, _)| {
+                (seg.dsn >= self.recorder.requests[req as usize].first_dsn).then_some(req)
+            });
         if let Some(req) = owner {
             self.recorder.note_arrival(req, sub, now);
         }
@@ -791,5 +800,21 @@ impl<A: Application> Testbed<A> {
     /// The application.
     pub fn app(&self) -> &A {
         &self.engine.model.app
+    }
+}
+
+/// Flush the event-queue diagnostics (cascade count, peak depth) to the
+/// telemetry counters. Done once at teardown like the connection decision
+/// counters: the queue keeps plain fields on its hot path and the sink sees
+/// the totals when the run is over.
+impl<A: Application> Drop for Testbed<A> {
+    fn drop(&mut self) {
+        let tel = &self.engine.model.world.tel;
+        if !tel.is_enabled() {
+            return;
+        }
+        let q = self.engine.queue();
+        tel.add(Counter::QueueCascades, q.cascaded_total());
+        tel.add(Counter::QueuePeakDepth, q.peak_len() as u64);
     }
 }

@@ -73,7 +73,10 @@ pub struct Subflow {
 impl Subflow {
     /// Create a subflow on `path`. `handshake_rtt` seeds the RTT estimator,
     /// standing in for the SYN/SYN-ACK measurement a real connection gets.
-    pub fn new(path: usize, tcp: TcpConfig, handshake_rtt: Duration) -> Self {
+    /// `inflight_cap` is the most unacked segments the connection's meta
+    /// buffers will ever let this subflow hold — reserved up front so the
+    /// inflight deque never grows on the hot path.
+    pub fn new(path: usize, tcp: TcpConfig, handshake_rtt: Duration, inflight_cap: usize) -> Self {
         let mut cc = TcpCc::new(tcp);
         cc.rtt.on_sample(handshake_rtt);
         Subflow {
@@ -81,7 +84,7 @@ impl Subflow {
             cc,
             next_ssn: 0,
             snd_una: 0,
-            inflight: VecDeque::new(),
+            inflight: VecDeque::with_capacity(inflight_cap),
             dupacks: 0,
             recovery_high: None,
             rto_deadline: Time::MAX,
@@ -268,7 +271,7 @@ mod tests {
     use super::*;
 
     fn sf() -> Subflow {
-        Subflow::new(0, TcpConfig::default(), Duration::from_millis(50))
+        Subflow::new(0, TcpConfig::default(), Duration::from_millis(50), 64)
     }
 
     fn ack(ssn: u64) -> AckInfo {

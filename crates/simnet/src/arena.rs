@@ -1,0 +1,213 @@
+//! Generational-index arena.
+//!
+//! A slab allocator for hot-path objects whose lifetimes don't nest: segment
+//! payload buffers, reorder-slot metadata, scratch records. Instead of
+//! `Box`/`Vec` churn per object, slots are recycled through an internal free
+//! list — after warm-up the arena never touches the global allocator, which
+//! is what lets the steady-state deliver loop run allocation-free (pinned by
+//! the counting-allocator test in `experiments`).
+//!
+//! Handles are [`ArenaIdx`]: a slot index plus a generation stamp. Removing
+//! a value bumps the slot's generation, so a stale handle held past a
+//! `remove` can never alias the slot's next occupant — `get` returns `None`
+//! instead of silently reading someone else's data. This gives most of the
+//! use-after-free safety of `Rc` without reference counts or allocation.
+
+/// Handle to a value in an [`Arena`]: slot index plus generation stamp.
+///
+/// A handle is invalidated by `remove`; using it afterwards yields `None`
+/// (or `false` from [`Arena::contains`]), never another value.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct ArenaIdx {
+    index: u32,
+    generation: u32,
+}
+
+impl ArenaIdx {
+    /// The raw slot index (stable for the lifetime of the occupant).
+    pub fn index(self) -> usize {
+        self.index as usize
+    }
+}
+
+enum Slot<T> {
+    /// Free slot; holds the next free slot's index (or `u32::MAX` for none)
+    /// and the generation the *next* occupant will get.
+    Free { next_free: u32, generation: u32 },
+    Occupied { generation: u32, value: T },
+}
+
+const NIL: u32 = u32::MAX;
+
+/// A generational slab: O(1) insert/remove, stable handles, zero allocation
+/// once warm (slots are recycled through a free list).
+pub struct Arena<T> {
+    slots: Vec<Slot<T>>,
+    free_head: u32,
+    len: usize,
+}
+
+impl<T> Default for Arena<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Arena<T> {
+    /// An empty arena.
+    pub fn new() -> Self {
+        Arena { slots: Vec::new(), free_head: NIL, len: 0 }
+    }
+
+    /// An empty arena with `cap` slots preallocated (no allocation until
+    /// more than `cap` values are live at once).
+    pub fn with_capacity(cap: usize) -> Self {
+        let mut a = Arena { slots: Vec::with_capacity(cap), free_head: NIL, len: 0 };
+        for i in 0..cap as u32 {
+            // Chain every preallocated slot onto the free list.
+            a.slots.push(Slot::Free { next_free: a.free_head, generation: 0 });
+            a.free_head = i;
+        }
+        a
+    }
+
+    /// Insert `value`, returning its handle. O(1); allocates only when no
+    /// free slot is available.
+    pub fn insert(&mut self, value: T) -> ArenaIdx {
+        self.len += 1;
+        if self.free_head != NIL {
+            let index = self.free_head;
+            let slot = &mut self.slots[index as usize];
+            let (next_free, generation) = match *slot {
+                Slot::Free { next_free, generation } => (next_free, generation),
+                Slot::Occupied { .. } => unreachable!("free list points at occupied slot"),
+            };
+            self.free_head = next_free;
+            *slot = Slot::Occupied { generation, value };
+            ArenaIdx { index, generation }
+        } else {
+            assert!(self.slots.len() < NIL as usize, "arena full");
+            let index = self.slots.len() as u32;
+            self.slots.push(Slot::Occupied { generation: 0, value });
+            ArenaIdx { index, generation: 0 }
+        }
+    }
+
+    /// Remove the value behind `idx`, if the handle is still live.
+    pub fn remove(&mut self, idx: ArenaIdx) -> Option<T> {
+        let slot = self.slots.get_mut(idx.index as usize)?;
+        match slot {
+            Slot::Occupied { generation, .. } if *generation == idx.generation => {
+                // Bump the generation so the outstanding handle goes stale.
+                let next_gen = idx.generation.wrapping_add(1);
+                let old = std::mem::replace(
+                    slot,
+                    Slot::Free { next_free: self.free_head, generation: next_gen },
+                );
+                self.free_head = idx.index;
+                self.len -= 1;
+                match old {
+                    Slot::Occupied { value, .. } => Some(value),
+                    Slot::Free { .. } => unreachable!(),
+                }
+            }
+            _ => None,
+        }
+    }
+
+    /// Shared access to the value behind `idx`, if the handle is still live.
+    pub fn get(&self, idx: ArenaIdx) -> Option<&T> {
+        match self.slots.get(idx.index as usize) {
+            Some(Slot::Occupied { generation, value }) if *generation == idx.generation => {
+                Some(value)
+            }
+            _ => None,
+        }
+    }
+
+    /// Mutable access to the value behind `idx`, if the handle is still live.
+    pub fn get_mut(&mut self, idx: ArenaIdx) -> Option<&mut T> {
+        match self.slots.get_mut(idx.index as usize) {
+            Some(Slot::Occupied { generation, value }) if *generation == idx.generation => {
+                Some(value)
+            }
+            _ => None,
+        }
+    }
+
+    /// True when `idx` still addresses a live value.
+    pub fn contains(&self, idx: ArenaIdx) -> bool {
+        self.get(idx).is_some()
+    }
+
+    /// Number of live values.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no values are live.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Total slots (live + free) currently backing the arena.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let mut a = Arena::new();
+        let i = a.insert("alpha");
+        let j = a.insert("beta");
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.get(i), Some(&"alpha"));
+        assert_eq!(a.get(j), Some(&"beta"));
+        assert_eq!(a.remove(i), Some("alpha"));
+        assert_eq!(a.remove(i), None);
+        assert_eq!(a.len(), 1);
+    }
+
+    #[test]
+    fn stale_handle_never_aliases_new_occupant() {
+        let mut a = Arena::new();
+        let i = a.insert(1u32);
+        a.remove(i);
+        let k = a.insert(2u32);
+        // Same slot recycled, but the old handle is dead.
+        assert_eq!(k.index(), i.index());
+        assert_eq!(a.get(i), None);
+        assert!(!a.contains(i));
+        assert_eq!(a.get(k), Some(&2));
+    }
+
+    #[test]
+    fn with_capacity_recycles_without_growth() {
+        let mut a = Arena::with_capacity(8);
+        assert_eq!(a.capacity(), 8);
+        let mut handles = Vec::new();
+        for round in 0..10u32 {
+            for v in 0..8u32 {
+                handles.push(a.insert(round * 8 + v));
+            }
+            assert_eq!(a.capacity(), 8, "steady state must not grow");
+            for h in handles.drain(..) {
+                assert!(a.remove(h).is_some());
+            }
+            assert!(a.is_empty());
+        }
+    }
+
+    #[test]
+    fn get_mut_updates_in_place() {
+        let mut a = Arena::new();
+        let i = a.insert(vec![1, 2, 3]);
+        a.get_mut(i).unwrap().push(4);
+        assert_eq!(a.get(i).unwrap().len(), 4);
+    }
+}

@@ -2,14 +2,13 @@
 //!
 //! The engine is deliberately minimal, in the spirit of event-driven stacks
 //! like smoltcp: a model is a plain state machine that receives events and may
-//! schedule more. Determinism comes from a strict ordering of the event heap —
-//! ties in time are broken by insertion sequence number, so two runs with the
-//! same inputs pop events in exactly the same order.
-
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+//! schedule more. Determinism comes from a strict ordering of the event queue
+//! (a calendar wheel, see [`crate::wheel`]) — ties in time are broken by
+//! insertion sequence number, so two runs with the same inputs pop events in
+//! exactly the same order.
 
 use crate::time::Time;
+use crate::wheel::EventQueue;
 
 /// A state machine driven by the [`Engine`].
 pub trait Model {
@@ -19,110 +18,6 @@ pub trait Model {
     /// Handle one event at simulated time `now`, scheduling any follow-ups
     /// through `sched`.
     fn handle(&mut self, now: Time, event: Self::Event, sched: &mut EventQueue<Self::Event>);
-}
-
-struct Entry<E> {
-    at: Time,
-    seq: u64,
-    event: E,
-}
-
-impl<E> PartialEq for Entry<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl<E> Eq for Entry<E> {}
-impl<E> PartialOrd for Entry<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<E> Ord for Entry<E> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops first.
-        (other.at, other.seq).cmp(&(self.at, self.seq))
-    }
-}
-
-/// A deterministic future-event list.
-///
-/// Events at equal times are delivered in the order they were scheduled.
-pub struct EventQueue<E> {
-    heap: BinaryHeap<Entry<E>>,
-    next_seq: u64,
-    scheduled_total: u64,
-}
-
-impl<E> Default for EventQueue<E> {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
-impl<E> EventQueue<E> {
-    /// An empty queue.
-    pub fn new() -> Self {
-        EventQueue { heap: BinaryHeap::new(), next_seq: 0, scheduled_total: 0 }
-    }
-
-    /// Schedule `event` to fire at absolute time `at`.
-    pub fn schedule(&mut self, at: Time, event: E) {
-        let seq = self.reserve_seq();
-        self.heap.push(Entry { at, seq, event });
-    }
-
-    /// Allocate the next tie-break sequence number *without* inserting a
-    /// heap entry.
-    ///
-    /// This is the coalescing hook (see [`crate::DeliveryQueue`]): a model
-    /// that parks a delivery in a per-link FIFO instead of the heap reserves
-    /// its seq at the moment the old code would have called [`schedule`],
-    /// then materializes the heap entry later via [`schedule_reserved`].
-    /// Because the counter advances in exactly the same program order either
-    /// way, the `(time, seq)` keys — and therefore the engine's total event
-    /// order — are bit-identical to scheduling every delivery individually.
-    ///
-    /// [`schedule`]: EventQueue::schedule
-    /// [`schedule_reserved`]: EventQueue::schedule_reserved
-    pub fn reserve_seq(&mut self) -> u64 {
-        let seq = self.next_seq;
-        self.next_seq += 1;
-        self.scheduled_total += 1;
-        seq
-    }
-
-    /// Insert an event under a seq previously obtained from
-    /// [`EventQueue::reserve_seq`]. Does not advance the counter.
-    pub fn schedule_reserved(&mut self, at: Time, seq: u64, event: E) {
-        debug_assert!(seq < self.next_seq, "seq {seq} was never reserved");
-        self.heap.push(Entry { at, seq, event });
-    }
-
-    /// Time of the next pending event, if any.
-    pub fn peek_time(&self) -> Option<Time> {
-        self.heap.peek().map(|e| e.at)
-    }
-
-    /// Remove and return the next (earliest) event.
-    pub fn pop(&mut self) -> Option<(Time, E)> {
-        self.heap.pop().map(|e| (e.at, e.event))
-    }
-
-    /// Number of events currently pending.
-    pub fn len(&self) -> usize {
-        self.heap.len()
-    }
-
-    /// True when no events are pending.
-    pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
-    }
-
-    /// Total number of events ever scheduled (diagnostic).
-    pub fn scheduled_total(&self) -> u64 {
-        self.scheduled_total
-    }
 }
 
 /// Outcome of [`Engine::run_until`].
@@ -170,6 +65,12 @@ impl<M: Model> Engine<M> {
         self.processed
     }
 
+    /// Read-only access to the queue, e.g. for diagnostics
+    /// ([`EventQueue::cascaded_total`], [`EventQueue::peak_len`]).
+    pub fn queue(&self) -> &EventQueue<M::Event> {
+        &self.queue
+    }
+
     /// Access the queue, e.g. to seed initial events.
     pub fn queue_mut(&mut self) -> &mut EventQueue<M::Event> {
         &mut self.queue
@@ -178,21 +79,32 @@ impl<M: Model> Engine<M> {
     /// Run until `deadline` (inclusive). Events scheduled exactly at the
     /// deadline are processed.
     pub fn run_until(&mut self, deadline: Time) -> RunOutcome {
-        while let Some(at) = self.queue.peek_time() {
-            if at > deadline {
+        loop {
+            if self.processed >= self.event_budget {
+                // Budget exhaustion only reports when another event would
+                // actually have run before the deadline.
+                return match self.queue.peek_time() {
+                    None => RunOutcome::Drained,
+                    Some(at) if at > deadline => {
+                        self.now = deadline;
+                        RunOutcome::DeadlineReached
+                    }
+                    Some(_) => RunOutcome::BudgetExhausted,
+                };
+            }
+            // One combined queue operation per event instead of peek + pop.
+            let Some((at, ev)) = self.queue.pop_at_or_before(deadline) else {
+                if self.queue.is_empty() {
+                    return RunOutcome::Drained;
+                }
                 self.now = deadline;
                 return RunOutcome::DeadlineReached;
-            }
-            if self.processed >= self.event_budget {
-                return RunOutcome::BudgetExhausted;
-            }
-            let (at, ev) = self.queue.pop().expect("peeked entry must pop");
+            };
             debug_assert!(at >= self.now, "event scheduled in the past");
             self.now = at;
             self.processed += 1;
             self.model.handle(at, ev, &mut self.queue);
         }
-        RunOutcome::Drained
     }
 
     /// Run until the queue drains completely.

@@ -48,15 +48,19 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod arena;
 mod delivery;
 mod engine;
 mod link;
 mod loss;
 mod path;
 mod time;
+mod wheel;
 
+pub use arena::{Arena, ArenaIdx};
 pub use delivery::DeliveryQueue;
-pub use engine::{Engine, EventQueue, Model, RunOutcome};
+pub use engine::{Engine, Model, RunOutcome};
+pub use wheel::EventQueue;
 pub use link::{Link, LinkConfig, LinkStats, Verdict};
 pub use loss::{GilbertElliott, LossModel};
 pub use path::{

@@ -143,6 +143,11 @@ pub struct Link {
     last_arrival: Time,
     /// Q32 nanos-per-byte reciprocal, recomputed on every rate change.
     recip_q32: u128,
+    /// One-entry serialization memo `(wire_bytes, delay)`. Traffic on a link
+    /// is dominated by a single packet size (MTU data forward, fixed-size
+    /// ACKs reverse), so most enqueues skip the u128 reciprocal math.
+    /// `(0, ZERO)` is always a valid entry; invalidated on rate change.
+    ser_memo: (u32, Duration),
     /// Active random-loss process (seeded from `cfg.loss_rate` as a
     /// Bernoulli model; scenarios swap in richer models at run time).
     loss: LossModel,
@@ -170,13 +175,21 @@ impl Link {
             LossModel::None
         };
         let deterministic = loss.is_none() && cfg.jitter_max == Duration::ZERO;
+        // Reserve the droptail bound up front (in full-size ~1448 B packets,
+        // capped for the generous reverse-path queues) so steady-state
+        // enqueues never grow the deque: the drop check keeps occupancy under
+        // `queue_limit_bytes`, so this capacity is never exceeded by MSS
+        // traffic, and sub-MSS traffic rides line-rate links that drain too
+        // fast to build comparable depth.
+        let queue_cap = (cfg.queue_limit_bytes / 1448).clamp(64, 16_384) as usize;
         Link {
             cfg,
             busy_until: Time::ZERO,
-            in_queue: VecDeque::new(),
+            in_queue: VecDeque::with_capacity(queue_cap),
             queued_bytes: 0,
             last_arrival: Time::ZERO,
             recip_q32,
+            ser_memo: (0, Duration::ZERO),
             loss,
             loss_bad_state: false,
             deterministic,
@@ -210,6 +223,7 @@ impl Link {
     pub fn set_rate_bps(&mut self, rate_bps: u64) {
         self.cfg.rate_bps = rate_bps.max(1);
         self.recip_q32 = serialization_recip(self.cfg.rate_bps);
+        self.ser_memo = (0, Duration::ZERO);
         if let Some(latency) = self.cfg.queue_latency {
             self.cfg.queue_limit_bytes = latency_queue_bytes(self.cfg.rate_bps, latency);
         }
@@ -312,7 +326,10 @@ impl Link {
             return Verdict::DropQueue;
         }
         let start = self.busy_until.max(now);
-        let departure = start + self.serialization(wire_bytes);
+        if self.ser_memo.0 != wire_bytes {
+            self.ser_memo = (wire_bytes, self.serialization(wire_bytes));
+        }
+        let departure = start + self.ser_memo.1;
         self.busy_until = departure;
         self.in_queue.push_back((departure, wire_bytes));
         self.queued_bytes += u64::from(wire_bytes);

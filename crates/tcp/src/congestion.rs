@@ -76,6 +76,10 @@ pub struct TcpCc {
     cfg: TcpConfig,
     /// Congestion window in segments, kept fractionally.
     cwnd: f64,
+    /// `cwnd_pkts()` precomputed at mutation time: the scheduler and the ACK
+    /// path read whole-segment cwnd far more often than it changes, and the
+    /// f64 floor/convert chain is not free on that path.
+    cwnd_pkts: u32,
     /// Slow-start threshold in segments.
     ssthresh: f64,
     /// RTT estimator for this subflow.
@@ -99,6 +103,7 @@ impl TcpCc {
         TcpCc {
             cfg,
             cwnd: f64::from(cfg.initial_cwnd),
+            cwnd_pkts: cfg.initial_cwnd.max(1),
             ssthresh: f64::INFINITY,
             rtt: RttEstimator::with_bounds(cfg.min_rto, cfg.max_rto),
             backoff: 0,
@@ -112,7 +117,13 @@ impl TcpCc {
 
     /// Current window, whole segments (≥ 1).
     pub fn cwnd_pkts(&self) -> u32 {
-        (self.cwnd.floor() as u32).max(1)
+        debug_assert_eq!(self.cwnd_pkts, (self.cwnd.floor() as u32).max(1));
+        self.cwnd_pkts
+    }
+
+    /// Refresh the whole-segment cache; call after every `cwnd` write.
+    fn sync_cwnd_pkts(&mut self) {
+        self.cwnd_pkts = (self.cwnd.floor() as u32).max(1);
     }
 
     /// Current window, fractional (for controllers).
@@ -134,6 +145,11 @@ impl TcpCc {
     /// clamped to the configured ceiling.
     pub fn rto(&self) -> Duration {
         let base = self.rtt.rto();
+        if self.backoff == 0 {
+            // Multiplying by 2^0 is identity work; only the ceiling clamp
+            // matters (the pre-sample initial RTO is not bounds-clamped).
+            return base.min(self.cfg.max_rto);
+        }
         base.saturating_mul(1u32 << self.backoff.min(6)).min(self.cfg.max_rto)
     }
 
@@ -179,6 +195,7 @@ impl TcpCc {
             self.ssthresh = self.ssthresh.max(0.75 * self.cwnd);
             let used = f64::from(self.cwnd_used.max(self.cfg.initial_cwnd));
             self.cwnd = ((self.cwnd + used) / 2.0).max(f64::from(self.cfg.min_cwnd));
+            self.sync_cwnd_pkts();
             self.cwnd_stamp = now;
             self.cwnd_used = 0;
             self.stats.app_limited_decays += 1;
@@ -197,6 +214,7 @@ impl TcpCc {
         if now.since(self.last_send) > self.rto() && self.cwnd > f64::from(self.cfg.initial_cwnd)
         {
             self.cwnd = f64::from(self.cfg.initial_cwnd);
+            self.sync_cwnd_pkts();
             // ssthresh is left in place: restart ramps via slow start up to
             // the previously learned threshold (RFC 2861 behaviour).
             self.stats.idle_resets += 1;
@@ -241,6 +259,7 @@ impl TcpCc {
     pub fn on_ack_slow_start(&mut self, newly_acked_pkts: u32) {
         debug_assert!(self.in_slow_start());
         self.cwnd += f64::from(newly_acked_pkts);
+        self.sync_cwnd_pkts();
         self.backoff = 0;
     }
 
@@ -249,6 +268,7 @@ impl TcpCc {
     pub fn apply_ca_increase(&mut self, inc: f64) {
         debug_assert!(inc >= 0.0, "CA increase must be non-negative");
         self.cwnd += inc;
+        self.sync_cwnd_pkts();
         self.backoff = 0;
     }
 
@@ -256,6 +276,7 @@ impl TcpCc {
     pub fn on_fast_retransmit(&mut self) {
         self.ssthresh = (self.cwnd / 2.0).max(f64::from(self.cfg.min_cwnd));
         self.cwnd = self.ssthresh;
+        self.sync_cwnd_pkts();
         self.stats.fast_retransmits += 1;
     }
 
@@ -264,6 +285,7 @@ impl TcpCc {
     pub fn on_rto(&mut self) {
         self.ssthresh = (self.cwnd / 2.0).max(f64::from(self.cfg.min_cwnd));
         self.cwnd = 1.0;
+        self.sync_cwnd_pkts();
         self.backoff += 1;
         self.stats.rto_events += 1;
     }
@@ -273,6 +295,7 @@ impl TcpCc {
     pub fn penalize(&mut self) {
         self.ssthresh = (self.cwnd / 2.0).max(f64::from(self.cfg.min_cwnd));
         self.cwnd = self.ssthresh;
+        self.sync_cwnd_pkts();
     }
 }
 

@@ -15,6 +15,11 @@ pub struct RttEstimator {
     min_rto: Duration,
     max_rto: Duration,
     samples: u64,
+    /// `rto()` precomputed at sample time. The engine hot path reads the RTO
+    /// several times per ACK (idle checks, window validation, timer re-arm);
+    /// its inputs only change here, so the Duration arithmetic runs once per
+    /// sample instead of once per read.
+    cached_rto: Duration,
 }
 
 impl RttEstimator {
@@ -39,6 +44,7 @@ impl RttEstimator {
             min_rto,
             max_rto,
             samples: 0,
+            cached_rto: Self::INITIAL_RTO,
         }
     }
 
@@ -62,6 +68,7 @@ impl RttEstimator {
             self.srtt = (self.srtt * 7 + rtt) / 8;
         }
         self.samples += 1;
+        self.cached_rto = (self.srtt + self.rttvar * 4).clamp(self.min_rto, self.max_rto);
     }
 
     /// Smoothed RTT (zero until the first sample).
@@ -87,10 +94,7 @@ impl RttEstimator {
     /// Current RTO: SRTT + 4·RTTVAR, clamped; [`Self::INITIAL_RTO`] before
     /// any sample.
     pub fn rto(&self) -> Duration {
-        if self.samples == 0 {
-            return Self::INITIAL_RTO;
-        }
-        (self.srtt + self.rttvar * 4).clamp(self.min_rto, self.max_rto)
+        self.cached_rto
     }
 }
 

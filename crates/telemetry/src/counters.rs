@@ -31,11 +31,16 @@ pub enum Counter {
     SubflowTransitions,
     /// Link rate changes applied by scenario dynamics.
     RateChanges,
+    /// Event-queue slot cascades (calendar-wheel events re-filed from a
+    /// higher level toward level 0; bounds the queue's non-O(1) work).
+    QueueCascades,
+    /// High-water mark of pending events in the engine's event queue.
+    QueuePeakDepth,
 }
 
 impl Counter {
     /// Number of counters.
-    pub const COUNT: usize = 10;
+    pub const COUNT: usize = 12;
 
     /// Every counter, in stable report order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -49,6 +54,8 @@ impl Counter {
         Counter::IwResets,
         Counter::SubflowTransitions,
         Counter::RateChanges,
+        Counter::QueueCascades,
+        Counter::QueuePeakDepth,
     ];
 
     /// Stable snake_case name for reports and trace digests.
@@ -64,6 +71,8 @@ impl Counter {
             Counter::IwResets => "iw_resets",
             Counter::SubflowTransitions => "subflow_transitions",
             Counter::RateChanges => "rate_changes",
+            Counter::QueueCascades => "queue_cascades",
+            Counter::QueuePeakDepth => "queue_peak_depth",
         }
     }
 }
