@@ -4,12 +4,21 @@
 //! repro <id> [--quick] [--no-save]   one experiment (fig9, tab3, ...)
 //! repro all [--quick] [--no-save]    everything, in paper order
 //! repro list                         show available ids
+//! repro matrix <spec.json> [--quick] [--no-save] [--force] [--dry-run]
+//!              [--cache-dir DIR]     declarative experiment matrix
 //! repro --trace out.jsonl [--quick] [--scenario dyn.json] [--seed N]
 //!                                    traced canonical run (0.3/8.6, ECF)
 //! ```
 //!
 //! Reports go to stdout and `results/<id>.txt`; `--no-save` skips the
 //! file so smoke runs don't overwrite committed full-effort results.
+//!
+//! `matrix` expands a spec (see `crates/experiments/specs/`) into cells,
+//! serves unchanged cells from the content-addressed cache (default
+//! `.expcache/`), executes only the rest, and assembles the figure in a
+//! fixed merge order — output is byte-identical whatever the cache state.
+//! `--force` re-executes everything (refreshing the cache); `--dry-run`
+//! reports cell counts and cache hits without running anything.
 //!
 //! `--trace` runs the paper's most heterogeneous streaming pair with
 //! telemetry enabled and writes every scheduler decision (with its inputs
@@ -59,6 +68,26 @@ fn main() {
 
     let target = args.iter().find(|a| !a.starts_with("--")).cloned();
 
+    if target.as_deref() == Some("matrix") {
+        let spec_path = args
+            .iter()
+            .skip_while(|a| a.as_str() != "matrix")
+            .skip(1)
+            .find(|a| !a.starts_with("--"))
+            .unwrap_or_else(|| {
+                eprintln!("usage: repro matrix <spec.json> [--quick] [--force] [--dry-run]");
+                std::process::exit(2);
+            });
+        let mut opts = experiments::MatrixOptions::new(
+            flag_value("--cache-dir").unwrap_or_else(|| ".expcache".to_string()),
+        );
+        opts.effort = effort;
+        opts.force = args.iter().any(|a| a == "--force");
+        opts.dry_run = args.iter().any(|a| a == "--dry-run");
+        run_matrix_cmd(spec_path, opts, save);
+        return;
+    }
+
     match target.as_deref() {
         None | Some("list") => {
             println!("available experiments:\n");
@@ -101,6 +130,38 @@ fn run_one(e: &experiments::Experiment, effort: Effort, save: bool) {
         .and_then(|mut f| f.write_all(report.as_bytes()))
     {
         eprintln!("warning: could not write results/{}.txt: {err}", e.id);
+    }
+}
+
+fn run_matrix_cmd(spec_path: &str, opts: experiments::MatrixOptions, save: bool) {
+    let started = std::time::Instant::now();
+    let spec = experiments::expmatrix::Spec::from_file(spec_path).unwrap_or_else(|err| {
+        eprintln!("bad spec: {err}");
+        std::process::exit(2);
+    });
+    eprintln!("== matrix {} ({}) ==", spec.name, spec_path);
+    let outcome = experiments::run_matrix(&spec, &opts).unwrap_or_else(|err| {
+        eprintln!("matrix failed: {err}");
+        std::process::exit(1);
+    });
+    eprintln!("{}", outcome.summary());
+    if opts.dry_run {
+        print!("{}", outcome.report);
+        return;
+    }
+    println!("{}", outcome.report);
+    eprintln!(
+        "== {} done in {:.1}s ==\n",
+        spec.name,
+        started.elapsed().as_secs_f64()
+    );
+    if !save {
+        return;
+    }
+    if let Err(err) = std::fs::create_dir_all("results").and_then(|_| {
+        std::fs::write(format!("results/{}.txt", spec.name), outcome.report.as_bytes())
+    }) {
+        eprintln!("warning: could not write results/{}.txt: {err}", spec.name);
     }
 }
 

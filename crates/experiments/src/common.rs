@@ -122,6 +122,8 @@ pub struct StreamingConfig {
     pub lte_mbps: f64,
     /// Scheduler under test.
     pub scheduler: SchedulerKind,
+    /// Coupled congestion controller (defaults to LIA, the Linux default).
+    pub cc: mptcp::CcKind,
     /// Video duration (seconds of content).
     pub video_secs: f64,
     /// Run seed.
@@ -149,6 +151,7 @@ impl StreamingConfig {
             wifi_mbps: wifi,
             lte_mbps: lte,
             scheduler,
+            cc: mptcp::CcKind::default(),
             video_secs: 180.0,
             seed,
             recorder: RecorderConfig::default(),
@@ -202,6 +205,7 @@ pub fn run_streaming(cfg: &StreamingConfig) -> StreamingOutcome {
     }
     let mut conn_cfg = ConnConfig::default();
     conn_cfg.tcp.idle_reset = cfg.cwnd_conservation;
+    conn_cfg.cc = cfg.cc;
 
     let scenario = match &cfg.scenario {
         Some(s) => expand_interface_scenario(s, per_if),

@@ -23,7 +23,7 @@ const KINDS: [SchedulerKind; 3] =
 /// Periodic LTE blackouts: every 60 s starting at t=30 s the LTE
 /// interface goes dark for `outage_secs`, modelling repeated cell-edge
 /// dropouts over a long session. `0` means no outages (static baseline).
-fn handover_scenario(outage_secs: u64, wall_horizon_secs: u64) -> Scenario {
+pub(crate) fn handover_scenario(outage_secs: u64, wall_horizon_secs: u64) -> Scenario {
     let mut s = Scenario::new();
     if outage_secs == 0 {
         return s;

@@ -1,0 +1,271 @@
+//! Cell execution: map a resolved cell config onto the shared workload
+//! runners and extract a JSON result.
+//!
+//! This is the only bridge between spec vocabulary and simulator types, so
+//! it is deliberately strict: unknown schedulers, congestion controllers,
+//! scenario kinds, or workloads are errors, not silent defaults — a typo'd
+//! spec must fail loudly instead of caching a wrong-but-plausible result.
+//!
+//! The scenario construction reproduces the legacy figure code exactly
+//! (same horizon formulas, same lossy-path index, same seed wiring); the
+//! equivalence suite in `tests/matrix.rs` holds this bridge to
+//! byte-identical figure output against the pre-matrix code paths.
+
+use std::collections::BTreeMap;
+
+use ecf_core::SchedulerKind;
+use mptcp::{CcKind, RecorderConfig};
+use scenario::{GilbertElliott, LossModel, Scenario};
+use simnet::Time;
+use testkit::json::Value;
+
+use crate::common::{run_streaming, secs, StreamingConfig, VARIABLE_BW_SET};
+use crate::dynamics::handover_scenario;
+
+/// Execute one cell, returning its result document:
+///
+/// ```json
+/// { "scalars": { "avg_bitrate": .., "avg_throughput": .., "ideal_bitrate": ..,
+///                "fast_fraction": .., "fast_iw_resets": .., "events_processed": .. },
+///   "series":  { "chunk_throughputs": [[t, mbps], ...],
+///                "sndbuf_rows": ["t\twifi\tlte", ...] } }   // when recorded
+/// ```
+pub fn execute(cfg: &Value) -> Result<Value, String> {
+    match str_field(cfg, "workload")? {
+        "streaming" => streaming_cell(cfg),
+        other => Err(format!("unknown workload {other:?}")),
+    }
+}
+
+fn streaming_cell(cfg: &Value) -> Result<Value, String> {
+    let wifi = num_field(cfg, "wifi_mbps")?;
+    let lte = num_field(cfg, "lte_mbps")?;
+    let video_secs = num_field(cfg, "video_secs")?;
+    let seed = num_field(cfg, "seed")? as u64;
+    let scheduler = parse_scheduler(str_field(cfg, "scheduler")?)?;
+    let record_sndbuf = cfg
+        .get("record_sndbuf")
+        .map(|v| v.as_bool().ok_or("\"record_sndbuf\" must be a bool"))
+        .transpose()?
+        .unwrap_or(false);
+
+    let mut run_cfg = StreamingConfig::new(wifi, lte, scheduler, seed);
+    run_cfg.video_secs = video_secs;
+    if let Some(cc) = cfg.get("cc") {
+        run_cfg.cc = parse_cc(cc.as_str().ok_or("\"cc\" must be a string")?)?;
+    }
+    if let Some(v) = cfg.get("cwnd_conservation") {
+        run_cfg.cwnd_conservation =
+            v.as_bool().ok_or("\"cwnd_conservation\" must be a bool")?;
+    }
+    if let Some(v) = cfg.get("subflows_per_interface") {
+        run_cfg.subflows_per_interface =
+            v.as_f64().ok_or("\"subflows_per_interface\" must be a number")? as usize;
+    }
+    if record_sndbuf {
+        run_cfg.recorder = RecorderConfig { sndbuf_traces: true, ..RecorderConfig::default() };
+    }
+    run_cfg.scenario = build_scenario(cfg, video_secs)?;
+
+    let out = run_streaming(&run_cfg);
+
+    let mut scalars = BTreeMap::new();
+    let mut put = |k: &str, v: f64| {
+        scalars.insert(k.to_string(), Value::Number(v));
+    };
+    put("avg_bitrate", out.avg_bitrate);
+    put("avg_throughput", out.avg_throughput);
+    put("ideal_bitrate", out.ideal_bitrate);
+    put("fast_fraction", out.fast_fraction);
+    put("fast_iw_resets", out.fast_iw_resets as f64);
+    put("events_processed", out.events_processed as f64);
+
+    let mut series = BTreeMap::new();
+    series.insert(
+        "chunk_throughputs".to_string(),
+        Value::Array(
+            out.chunk_throughputs
+                .iter()
+                .map(|&(t, v)| Value::Array(vec![Value::Number(t), Value::Number(v)]))
+                .collect(),
+        ),
+    );
+    if record_sndbuf {
+        // Pre-render Fig 3's rows here: the thinning/lookup pipeline stays
+        // beside the recorder types, and the cached form is already the
+        // exact figure text (floats can round-trip, but keeping the cache
+        // in render space removes the question entirely).
+        if out.sndbuf_traces.len() < 2 {
+            return Err("sndbuf recording produced fewer than 2 traces".to_string());
+        }
+        let wifi = out.sndbuf_traces[0].thin(200);
+        let lte = &out.sndbuf_traces[1];
+        let rows = wifi
+            .points
+            .iter()
+            .map(|&(t, w)| {
+                let l = lte.value_at(t).unwrap_or(0.0);
+                Value::String(format!("{t:.1}\t{w:.1}\t{l:.1}"))
+            })
+            .collect();
+        series.insert("sndbuf_rows".to_string(), Value::Array(rows));
+    }
+
+    let mut result = BTreeMap::new();
+    result.insert("scalars".to_string(), Value::Object(scalars));
+    result.insert("series".to_string(), Value::Object(series));
+    Ok(Value::Object(result))
+}
+
+/// Build the run's scenario. `None` when the config names neither a
+/// scenario nor a loss process (matching the legacy static runs); an
+/// explicit `{"kind": "static"}` yields `Some(empty)` exactly like the
+/// legacy ladder code's zero rung.
+fn build_scenario(cfg: &Value, video_secs: f64) -> Result<Option<Scenario>, String> {
+    let scenario_doc = cfg.get("scenario");
+    let loss_doc = cfg.get("loss");
+    if scenario_doc.is_none() && loss_doc.is_none() {
+        return Ok(None);
+    }
+
+    let mut s = match scenario_doc {
+        None => Scenario::new(),
+        Some(doc) => match str_field(doc, "kind")? {
+            "static" => Scenario::new(),
+            "handover" => {
+                // Same cycle generation as dyn_handover: outages every
+                // 60 s from t=30 s up to the run_streaming wall horizon.
+                let outage = num_field(doc, "outage_secs")? as u64;
+                let wall_horizon = (video_secs * 30.0) as u64 + 300;
+                handover_scenario(outage, wall_horizon)
+            }
+            "random_rates" => {
+                // §5.3's random-walk process on both interfaces, with the
+                // fig16/fig17 horizon formula.
+                let wifi_seed = num_field(doc, "wifi_seed")? as u64;
+                let lte_seed = num_field(doc, "lte_seed")? as u64;
+                let interval = num_field(doc, "mean_interval_secs")? as u64;
+                let horizon = Time::from_secs((video_secs * 4.0) as u64 + 300);
+                Scenario::new()
+                    .random_rates(0, wifi_seed, secs(interval), &VARIABLE_BW_SET, horizon)
+                    .random_rates(1, lte_seed, secs(interval), &VARIABLE_BW_SET, horizon)
+            }
+            other => return Err(format!("unknown scenario kind {other:?}")),
+        },
+    };
+
+    if let Some(doc) = loss_doc {
+        // Gilbert–Elliott loss on the fast (LTE) interface from t=0, the
+        // dyn_burstloss regime; zero average loss means no loss process.
+        let avg = num_field(doc, "avg")?;
+        let burst = num_field(doc, "mean_burst")?;
+        if avg > 0.0 {
+            s = s.loss(
+                Time::ZERO,
+                1,
+                LossModel::GilbertElliott(GilbertElliott::bursty(avg, burst)),
+            );
+        }
+    }
+    Ok(Some(s))
+}
+
+fn parse_scheduler(name: &str) -> Result<SchedulerKind, String> {
+    Ok(match name {
+        "default" => SchedulerKind::Default,
+        "ecf" => SchedulerKind::Ecf,
+        "daps" => SchedulerKind::Daps,
+        "blest" => SchedulerKind::Blest,
+        "sttf" => SchedulerKind::Sttf,
+        "round_robin" => SchedulerKind::RoundRobin,
+        other => return Err(format!("unknown scheduler {other:?}")),
+    })
+}
+
+fn parse_cc(name: &str) -> Result<CcKind, String> {
+    Ok(match name {
+        "reno" => CcKind::Reno,
+        "lia" => CcKind::Lia,
+        "olia" => CcKind::Olia,
+        other => return Err(format!("unknown cc {other:?}")),
+    })
+}
+
+fn str_field<'v>(doc: &'v Value, key: &str) -> Result<&'v str, String> {
+    doc.get(key)
+        .and_then(Value::as_str)
+        .ok_or_else(|| format!("cell config needs a string {key:?}"))
+}
+
+fn num_field(doc: &Value, key: &str) -> Result<f64, String> {
+    doc.get(key)
+        .and_then(Value::as_f64)
+        .ok_or_else(|| format!("cell config needs a number {key:?}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use testkit::json;
+
+    #[test]
+    fn minimal_streaming_cell_runs() {
+        let cfg = json::parse(
+            r#"{"workload": "streaming", "wifi_mbps": 4.2, "lte_mbps": 4.2,
+                "scheduler": "ecf", "video_secs": 30, "seed": 1}"#,
+        )
+        .unwrap();
+        let result = execute(&cfg).unwrap();
+        let scalars = result.get("scalars").unwrap();
+        assert!(scalars.get("avg_bitrate").and_then(Value::as_f64).unwrap() > 0.0);
+        assert_eq!(
+            scalars.get("ideal_bitrate").and_then(Value::as_f64),
+            Some(8.4)
+        );
+        let chunks = result
+            .get("series")
+            .and_then(|s| s.get("chunk_throughputs"))
+            .and_then(Value::as_array)
+            .unwrap();
+        assert!(!chunks.is_empty());
+    }
+
+    #[test]
+    fn typos_fail_loudly() {
+        let base = r#"{"workload": "streaming", "wifi_mbps": 1.0, "lte_mbps": 2.0,
+                       "scheduler": "ecf", "video_secs": 30, "seed": 1}"#;
+        let bad_sched = base.replace("\"ecf\"", "\"ecff\"");
+        assert!(execute(&json::parse(&bad_sched).unwrap())
+            .unwrap_err()
+            .contains("unknown scheduler"));
+        let bad_workload = base.replace("streaming", "browsing");
+        assert!(execute(&json::parse(&bad_workload).unwrap())
+            .unwrap_err()
+            .contains("unknown workload"));
+        let bad_cc = base.replace("\"seed\": 1", "\"seed\": 1, \"cc\": \"cubic\"");
+        assert!(execute(&json::parse(&bad_cc).unwrap())
+            .unwrap_err()
+            .contains("unknown cc"));
+        let bad_kind = base
+            .replace("\"seed\": 1", "\"seed\": 1, \"scenario\": {\"kind\": \"warp\"}");
+        assert!(execute(&json::parse(&bad_kind).unwrap())
+            .unwrap_err()
+            .contains("unknown scenario kind"));
+    }
+
+    #[test]
+    fn scenario_is_none_only_for_pure_static_cells() {
+        let plain = json::parse(
+            r#"{"workload": "streaming", "wifi_mbps": 1.0, "lte_mbps": 2.0,
+                "scheduler": "ecf", "video_secs": 30, "seed": 1}"#,
+        )
+        .unwrap();
+        assert!(build_scenario(&plain, 30.0).unwrap().is_none());
+        let loss = json::parse(r#"{"loss": {"avg": 0.01, "mean_burst": 8}}"#).unwrap();
+        let s = build_scenario(&loss, 30.0).unwrap().unwrap();
+        assert!(!s.is_static());
+        // Zero average loss: Some(empty), exactly the legacy zero rung.
+        let zero = json::parse(r#"{"loss": {"avg": 0.0, "mean_burst": 8}}"#).unwrap();
+        assert!(build_scenario(&zero, 30.0).unwrap().unwrap().is_static());
+    }
+}

@@ -10,6 +10,14 @@
 //! ```
 //!
 //! Reports are printed and also written to `results/<id>.txt`.
+//!
+//! Figures ported to the declarative experiment matrix (see [`expmatrix`]
+//! and DESIGN.md §10) can also run from a spec file with content-addressed
+//! result caching — a warm re-run executes zero cells:
+//!
+//! ```text
+//! cargo run -p experiments --release --bin repro -- matrix crates/experiments/specs/fig16.json
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -18,6 +26,7 @@ pub mod ablations;
 pub mod common;
 pub mod downloads;
 pub mod dynamics;
+pub mod expmatrix;
 pub mod streaming;
 pub mod trace;
 pub mod web;
@@ -27,6 +36,7 @@ pub use common::{
     parallel_map, parallel_map_workers, run_browse, run_browse_n, run_streaming, run_wget, Effort,
     StreamingConfig, StreamingOutcome, BW_SET, VARIABLE_BW_SET,
 };
+pub use expmatrix::{run_matrix, MatrixOptions, MatrixOutcome};
 pub use trace::{run_traced, TraceRun};
 
 /// An experiment: id, paper artifact, and the function that regenerates it.

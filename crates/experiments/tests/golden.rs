@@ -9,6 +9,11 @@
 //! keys as the old per-packet scheduling (see DESIGN.md, "Event
 //! coalescing on FIFO links").
 //!
+//! The expected values live in [`experiments::expmatrix::ENGINE_CONTRACT`]
+//! because they do double duty: the experiment matrix folds them into
+//! every cache key, so the change that fails these tests also invalidates
+//! every cached cell result once the constants are regenerated.
+//!
 //! If one of these digests changes, the event ordering of the simulator
 //! changed — that is a correctness bug unless a PR deliberately changes
 //! the simulation model itself (in which case regenerate the constants
@@ -16,22 +21,18 @@
 //! reviewing why every downstream figure is allowed to move).
 
 use ecf_core::SchedulerKind;
+use experiments::expmatrix::ENGINE_CONTRACT;
 use experiments::{run_browse, run_streaming, StreamingConfig};
 use scenario::Scenario;
+use testkit::digest::Fnv1a;
 
-const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
-
-/// Fold one u64 into an FNV-1a accumulator, byte by byte.
-fn fold(acc: &mut u64, x: u64) {
-    for b in x.to_le_bytes() {
-        *acc ^= u64::from(b);
-        *acc = acc.wrapping_mul(FNV_PRIME);
-    }
-}
-
-fn fold_f64(acc: &mut u64, x: f64) {
-    fold(acc, x.to_bits());
+/// Expected digest for one contract entry.
+fn golden(name: &str) -> u64 {
+    ENGINE_CONTRACT
+        .iter()
+        .find(|(n, _)| *n == name)
+        .unwrap_or_else(|| panic!("ENGINE_CONTRACT lacks {name}"))
+        .1
 }
 
 /// Digest every deterministic observable of one streaming run.
@@ -45,73 +46,73 @@ fn streaming_digest_with(seed: u64, scenario: Option<Scenario>) -> u64 {
         scenario,
         ..StreamingConfig::new(0.3, 8.6, SchedulerKind::Ecf, seed)
     });
-    let mut d = FNV_OFFSET;
-    fold(&mut d, out.events_processed);
-    fold_f64(&mut d, out.avg_bitrate);
-    fold_f64(&mut d, out.avg_throughput);
-    fold_f64(&mut d, out.fast_fraction);
-    fold(&mut d, out.fast_iw_resets);
+    let mut d = Fnv1a::new();
+    d.write_u64(out.events_processed);
+    d.write_f64(out.avg_bitrate);
+    d.write_f64(out.avg_throughput);
+    d.write_f64(out.fast_fraction);
+    d.write_u64(out.fast_iw_resets);
     for &x in &out.ooo_delays {
-        fold_f64(&mut d, x);
+        d.write_f64(x);
     }
     for &x in &out.last_packet_gaps {
-        fold_f64(&mut d, x);
+        d.write_f64(x);
     }
     for &(t, v) in &out.chunk_throughputs {
-        fold_f64(&mut d, t);
-        fold_f64(&mut d, v);
+        d.write_f64(t);
+        d.write_f64(v);
     }
     for &(t, v) in &out.download_progress {
-        fold_f64(&mut d, t);
-        fold_f64(&mut d, v);
+        d.write_f64(t);
+        d.write_f64(v);
     }
-    d
+    d.finish()
 }
 
 /// Digest a six-connection browse run: request lifecycles, pooled OOO
 /// delays, and the exact number of engine events processed.
 fn browse_digest(seed: u64) -> u64 {
     let tb = run_browse(0.3, 8.6, SchedulerKind::Ecf, seed);
-    let mut d = FNV_OFFSET;
-    fold(&mut d, tb.events_processed());
+    let mut d = Fnv1a::new();
+    d.write_u64(tb.events_processed());
     let rec = &tb.world().recorder;
     for r in &rec.requests {
-        fold(&mut d, r.bytes);
-        fold(&mut d, r.issued.as_nanos());
-        fold(&mut d, r.server_arrival.map_or(u64::MAX, |t| t.as_nanos()));
-        fold(&mut d, r.completed.map_or(u64::MAX, |t| t.as_nanos()));
+        d.write_u64(r.bytes);
+        d.write_u64(r.issued.as_nanos());
+        d.write_u64(r.server_arrival.map_or(u64::MAX, |t| t.as_nanos()));
+        d.write_u64(r.completed.map_or(u64::MAX, |t| t.as_nanos()));
         for a in &r.last_arrival_per_sub {
-            fold(&mut d, a.map_or(u64::MAX, |t| t.as_nanos()));
+            d.write_u64(a.map_or(u64::MAX, |t| t.as_nanos()));
         }
         for &n in &r.arrivals_per_sub {
-            fold(&mut d, n);
+            d.write_u64(n);
         }
     }
     for &us in &rec.ooo_delays_us {
-        fold(&mut d, us);
+        d.write_u64(us);
     }
-    d
+    d.finish()
 }
 
 #[test]
 fn streaming_seed_1_is_bit_identical() {
     let d = streaming_digest(1);
     println!("streaming seed 1 digest: {d:#018x}");
-    assert_eq!(d, GOLDEN_STREAMING_SEED_1);
+    assert_eq!(d, golden("streaming_seed_1"));
 }
 
 #[test]
 fn streaming_seed_2_is_bit_identical() {
     let d = streaming_digest(2);
     println!("streaming seed 2 digest: {d:#018x}");
-    assert_eq!(d, GOLDEN_STREAMING_SEED_2);
+    assert_eq!(d, golden("streaming_seed_2"));
 }
 
 #[test]
 fn streaming_seed_2014_is_bit_identical() {
     let d = streaming_digest(2014);
     println!("streaming seed 2014 digest: {d:#018x}");
-    assert_eq!(d, GOLDEN_STREAMING_SEED_2014);
+    assert_eq!(d, golden("streaming_seed_2014"));
 }
 
 #[test]
@@ -121,18 +122,12 @@ fn explicit_static_scenario_leaves_digest_unchanged() {
     // `(time, seq)` keys, same digest — as passing no scenario at all.
     let s = Scenario::new();
     assert!(s.is_static());
-    assert_eq!(streaming_digest_with(1, Some(s)), GOLDEN_STREAMING_SEED_1);
+    assert_eq!(streaming_digest_with(1, Some(s)), golden("streaming_seed_1"));
 }
 
 #[test]
 fn browse_seed_1_is_bit_identical() {
     let d = browse_digest(1);
     println!("browse seed 1 digest: {d:#018x}");
-    assert_eq!(d, GOLDEN_BROWSE_SEED_1);
+    assert_eq!(d, golden("browse_seed_1"));
 }
-
-/// Captured on the pre-refactor all-heap scheduler (PR 1 tree).
-const GOLDEN_STREAMING_SEED_1: u64 = 0xceec_95c6_d6bb_212a;
-const GOLDEN_STREAMING_SEED_2: u64 = 0x8fcd_014e_b130_7ff9;
-const GOLDEN_STREAMING_SEED_2014: u64 = 0x8536_e9cb_b2eb_e94a;
-const GOLDEN_BROWSE_SEED_1: u64 = 0x0087_b015_cafe_1e60;

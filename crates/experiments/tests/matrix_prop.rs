@@ -1,0 +1,236 @@
+//! Property tests for the experiment-matrix cache key.
+//!
+//! The cache-correctness argument rests on two digest properties:
+//!
+//! 1. **Format invariance** — the digest sees canonical JSON, so key
+//!    reordering and whitespace changes in a spec (or a cache entry) never
+//!    change a cell's identity.
+//! 2. **Value sensitivity** — mutating any single field of a cell config
+//!    (any leaf: a seed, a rate, a scheduler name, a nested scenario
+//!    parameter) always produces a different cache key, so no stale result
+//!    can be served for a changed configuration.
+//!
+//! Inputs are generated from primitives and assembled in the property body,
+//! so failures shrink toward a minimal config and mutation.
+
+use std::collections::BTreeMap;
+
+use testkit::digest::canonical_digest;
+use testkit::json::{self, canonical, Value};
+use testkit::prop::{check, choice};
+
+/// Assemble a plausible cell config from primitive knobs. The exact
+/// semantics don't matter to the digest; the *shape* (nested objects,
+/// mixed value types) does.
+fn build_config(
+    wifi: f64,
+    lte: f64,
+    seed: u64,
+    scheduler: &str,
+    cc: &str,
+    outage: u64,
+    record: bool,
+) -> Value {
+    let mut scenario = BTreeMap::new();
+    scenario.insert("kind".to_string(), Value::String("handover".into()));
+    scenario.insert("outage_secs".to_string(), Value::Number(outage as f64));
+    let mut m = BTreeMap::new();
+    m.insert("workload".to_string(), Value::String("streaming".into()));
+    m.insert("wifi_mbps".to_string(), Value::Number(wifi));
+    m.insert("lte_mbps".to_string(), Value::Number(lte));
+    m.insert("seed".to_string(), Value::Number(seed as f64));
+    m.insert("scheduler".to_string(), Value::String(scheduler.into()));
+    m.insert("cc".to_string(), Value::String(cc.into()));
+    m.insert("scenario".to_string(), Value::Object(scenario));
+    m.insert("record_sndbuf".to_string(), Value::Bool(record));
+    Value::Object(m)
+}
+
+/// Re-serialize `v` with rotated key order and pseudo-random whitespace —
+/// a format-preserving, value-preserving rewrite of the document.
+fn pad(salt: &mut u64, out: &mut String) {
+    *salt = salt.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+    match (*salt >> 33) % 4 {
+        0 => {}
+        1 => out.push(' '),
+        2 => out.push_str("  "),
+        _ => out.push_str("\n\t"),
+    }
+}
+
+fn scramble(v: &Value, salt: &mut u64, out: &mut String) {
+    match v {
+        Value::Object(m) => {
+            out.push('{');
+            let keys: Vec<&String> = m.keys().collect();
+            let rot = if keys.is_empty() { 0 } else { (*salt as usize) % keys.len() };
+            for (i, idx) in (0..keys.len()).map(|i| (i + rot) % keys.len()).enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                pad(salt, out);
+                // Keys in our configs never need escaping.
+                out.push_str(&format!("\"{}\"", keys[idx]));
+                pad(salt, out);
+                out.push(':');
+                pad(salt, out);
+                scramble(&m[keys[idx]], salt, out);
+            }
+            pad(salt, out);
+            out.push('}');
+        }
+        Value::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                pad(salt, out);
+                scramble(item, salt, out);
+            }
+            pad(salt, out);
+            out.push(']');
+        }
+        leaf => out.push_str(&canonical(leaf)),
+    }
+}
+
+/// Every leaf path in the document (objects/arrays recursed, scalars kept).
+fn leaf_paths(v: &Value, prefix: Vec<String>, out: &mut Vec<Vec<String>>) {
+    match v {
+        Value::Object(m) => {
+            for (k, val) in m {
+                let mut p = prefix.clone();
+                p.push(k.clone());
+                leaf_paths(val, p, out);
+            }
+        }
+        Value::Array(items) => {
+            for (i, item) in items.iter().enumerate() {
+                let mut p = prefix.clone();
+                p.push(i.to_string());
+                leaf_paths(item, p, out);
+            }
+        }
+        _ => out.push(prefix),
+    }
+}
+
+/// Mutate the leaf at `path` into a guaranteed-different value.
+fn mutate_at(v: &mut Value, path: &[String]) {
+    match v {
+        Value::Object(m) => {
+            let inner = m.get_mut(&path[0]).expect("path exists");
+            if path.len() == 1 {
+                *inner = mutate_leaf(inner);
+            } else {
+                mutate_at(inner, &path[1..]);
+            }
+        }
+        Value::Array(items) => {
+            let idx: usize = path[0].parse().expect("array index");
+            if path.len() == 1 {
+                items[idx] = mutate_leaf(&items[idx]);
+            } else {
+                mutate_at(&mut items[idx], &path[1..]);
+            }
+        }
+        _ => unreachable!("path descends through containers"),
+    }
+}
+
+fn mutate_leaf(v: &Value) -> Value {
+    match v {
+        Value::Number(n) => Value::Number(if n.is_finite() { n + 1.0 } else { 0.0 }),
+        Value::String(s) => Value::String(format!("{s}x")),
+        Value::Bool(b) => Value::Bool(!b),
+        Value::Null => Value::Bool(true),
+        _ => unreachable!("leaves are scalars"),
+    }
+}
+
+const SCHEDULERS: [&str; 4] = ["default", "ecf", "blest", "daps"];
+const CCS: [&str; 3] = ["lia", "olia", "reno"];
+
+#[test]
+fn digest_is_invariant_under_key_order_and_whitespace() {
+    check(
+        256,
+        (
+            0.1_f64..10.0,
+            0.1_f64..10.0,
+            0_u64..1_000_000,
+            choice(&SCHEDULERS),
+            choice(&CCS),
+            (0_u64..120, testkit::prop::any_u64()),
+        ),
+        |(wifi, lte, seed, sched, cc, (outage, salt))| {
+            let cfg = build_config(wifi, lte, seed, sched, cc, outage, salt % 2 == 0);
+            let mut text = String::new();
+            let mut s = salt;
+            scramble(&cfg, &mut s, &mut text);
+            let reparsed = json::parse(&text)
+                .unwrap_or_else(|e| panic!("scrambled form must stay valid JSON: {e}\n{text}"));
+            assert_eq!(
+                canonical(&cfg),
+                canonical(&reparsed),
+                "canonical form changed under rewrite"
+            );
+            assert_eq!(
+                canonical_digest(&cfg),
+                canonical_digest(&reparsed),
+                "digest changed under key reordering/whitespace"
+            );
+        },
+    );
+}
+
+#[test]
+fn digest_changes_for_every_single_field_mutation() {
+    check(
+        256,
+        (
+            0.1_f64..10.0,
+            0.1_f64..10.0,
+            0_u64..1_000_000,
+            choice(&SCHEDULERS),
+            choice(&CCS),
+            (0_u64..120, 0_usize..1024),
+        ),
+        |(wifi, lte, seed, sched, cc, (outage, pick))| {
+            let cfg = build_config(wifi, lte, seed, sched, cc, outage, pick % 2 == 0);
+            let mut paths = Vec::new();
+            leaf_paths(&cfg, Vec::new(), &mut paths);
+            assert!(!paths.is_empty());
+            let path = &paths[pick % paths.len()];
+            let mut mutated = cfg.clone();
+            mutate_at(&mut mutated, path);
+            assert_ne!(cfg, mutated, "mutation at {path:?} was a no-op");
+            assert_ne!(
+                canonical_digest(&cfg),
+                canonical_digest(&mutated),
+                "digest identical after mutating {path:?}"
+            );
+        },
+    );
+}
+
+#[test]
+fn digest_separates_every_leaf_mutation_exhaustively() {
+    // The property above samples; this pins the full cross-product for one
+    // representative config: every leaf mutated, every digest distinct from
+    // the original *and* from each other (no two mutations collide).
+    let cfg = build_config(1.7, 8.6, 42, "ecf", "lia", 10, true);
+    let mut paths = Vec::new();
+    leaf_paths(&cfg, Vec::new(), &mut paths);
+    let mut digests = vec![canonical_digest(&cfg)];
+    for path in &paths {
+        let mut mutated = cfg.clone();
+        mutate_at(&mut mutated, path);
+        digests.push(canonical_digest(&mutated));
+    }
+    let n = digests.len();
+    digests.sort_unstable();
+    digests.dedup();
+    assert_eq!(digests.len(), n, "some mutations collided");
+}

@@ -36,11 +36,18 @@ pub enum Counter {
     QueueCascades,
     /// High-water mark of pending events in the engine's event queue.
     QueuePeakDepth,
+    /// Experiment-matrix cells served from the content-addressed cache.
+    MatrixCacheHits,
+    /// Experiment-matrix cells executed because no valid entry existed.
+    MatrixCacheMisses,
+    /// Cache entries rejected as corrupt/stale (digest re-check failed);
+    /// always also counted as misses.
+    MatrixCacheInvalid,
 }
 
 impl Counter {
     /// Number of counters.
-    pub const COUNT: usize = 12;
+    pub const COUNT: usize = 15;
 
     /// Every counter, in stable report order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -56,6 +63,9 @@ impl Counter {
         Counter::RateChanges,
         Counter::QueueCascades,
         Counter::QueuePeakDepth,
+        Counter::MatrixCacheHits,
+        Counter::MatrixCacheMisses,
+        Counter::MatrixCacheInvalid,
     ];
 
     /// Stable snake_case name for reports and trace digests.
@@ -73,6 +83,9 @@ impl Counter {
             Counter::RateChanges => "rate_changes",
             Counter::QueueCascades => "queue_cascades",
             Counter::QueuePeakDepth => "queue_peak_depth",
+            Counter::MatrixCacheHits => "matrix_cache_hits",
+            Counter::MatrixCacheMisses => "matrix_cache_misses",
+            Counter::MatrixCacheInvalid => "matrix_cache_invalid",
         }
     }
 }

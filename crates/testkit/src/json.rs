@@ -1,12 +1,16 @@
-//! Minimal JSON reader.
+//! Minimal JSON reader plus a canonical writer.
 //!
 //! Just enough of RFC 8259 to validate and inspect the machine-readable
-//! benchmark results (`BENCH.json`) without a registry dependency: the
-//! full value grammar is parsed (objects, arrays, strings with escapes,
-//! numbers, booleans, null), numbers are read as `f64`, and trailing
-//! garbage after the document is an error. This is a *reader* — the
-//! writer side lives in [`crate::bench::write_json_results`] and emits a
-//! narrow, known-safe subset.
+//! benchmark results (`BENCH.json`) and experiment-matrix artifacts
+//! without a registry dependency: the full value grammar is parsed
+//! (objects, arrays, strings with escapes, numbers, booleans, null),
+//! numbers are read as `f64`, and trailing garbage after the document is
+//! an error. [`canonical`] is the inverse direction: a deterministic
+//! serialization (sorted keys, no whitespace, shortest round-tripping
+//! number form) such that any two documents that parse to the same value
+//! serialize to the same bytes — the property the experiment matrix's
+//! content-addressed cache keys rely on. The human-facing writer side for
+//! benches lives in [`crate::bench::write_json_results`].
 
 use std::collections::BTreeMap;
 use std::fmt;
@@ -60,6 +64,94 @@ impl Value {
             _ => None,
         }
     }
+
+    /// The boolean, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The key/value map, if this is an object.
+    pub fn as_object(&self) -> Option<&BTreeMap<String, Value>> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+}
+
+/// Serialize a value canonically: object keys sorted (the [`BTreeMap`]
+/// order), no whitespace, strings minimally escaped, numbers in Rust's
+/// shortest round-tripping `Display` form. Two documents with the same
+/// parsed value always canonicalize to identical bytes, so a digest of
+/// this string is invariant under key reordering and reformatting.
+///
+/// Non-finite numbers have no JSON form; they serialize as `null` (and
+/// are rejected upstream by writers that care).
+pub fn canonical(v: &Value) -> String {
+    let mut out = String::new();
+    write_canonical(v, &mut out);
+    out
+}
+
+fn write_canonical(v: &Value, out: &mut String) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::Number(n) => {
+            if n.is_finite() {
+                // `{}` on f64 is the shortest string that parses back to
+                // the same bits — canonical and lossless.
+                out.push_str(&format!("{n}"));
+            } else {
+                out.push_str("null");
+            }
+        }
+        Value::String(s) => write_escaped(s, out),
+        Value::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_canonical(item, out);
+            }
+            out.push(']');
+        }
+        Value::Object(map) => {
+            out.push('{');
+            for (i, (k, val)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_escaped(k, out);
+                out.push(':');
+                write_canonical(val, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
 }
 
 /// Parse failure: message plus byte offset into the input.
@@ -304,5 +396,39 @@ d""#).unwrap();
     fn negative_and_exponent_numbers() {
         assert_eq!(parse("-12.5").unwrap().as_f64(), Some(-12.5));
         assert_eq!(parse("3e2").unwrap().as_f64(), Some(300.0));
+    }
+
+    #[test]
+    fn canonical_is_layout_invariant() {
+        let messy = "{\n  \"b\": [1, 2.5, true],\t\"a\": {\"z\": null, \"y\": \"s\"}\n}";
+        let tidy = r#"{"a":{"y":"s","z":null},"b":[1,2.5,true]}"#;
+        assert_eq!(canonical(&parse(messy).unwrap()), tidy);
+        // Canonicalization is idempotent: parse(canonical(v)) == v.
+        assert_eq!(canonical(&parse(tidy).unwrap()), tidy);
+    }
+
+    #[test]
+    fn canonical_numbers_round_trip() {
+        for n in [0.0, -0.0, 5.0, 0.3, 1.0 / 3.0, 1e-12, 123456789.125] {
+            let c = canonical(&Value::Number(n));
+            let back = parse(&c).unwrap().as_f64().unwrap();
+            assert_eq!(back.to_bits(), n.to_bits(), "lossy canonical form {c}");
+        }
+        assert_eq!(canonical(&Value::Number(f64::NAN)), "null");
+    }
+
+    #[test]
+    fn canonical_escapes_reparse() {
+        let v = Value::String("a\"b\\c\nd\u{1}e".to_string());
+        let c = canonical(&v);
+        assert_eq!(parse(&c).unwrap(), v);
+    }
+
+    #[test]
+    fn accessors_cover_new_variants() {
+        let v = parse(r#"{"flag": true, "obj": {"k": 1}}"#).unwrap();
+        assert_eq!(v.get("flag").and_then(Value::as_bool), Some(true));
+        assert!(v.as_object().unwrap().contains_key("obj"));
+        assert_eq!(v.get("obj").and_then(Value::as_bool), None);
     }
 }

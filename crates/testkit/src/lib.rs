@@ -21,12 +21,17 @@
 //!   `criterion_group!`/`criterion_main!` macro surface. With
 //!   `TESTKIT_BENCH_JSON=<path>` set, results are also written as JSON
 //!   (the `BENCH.json` perf-trajectory format).
-//! * [`json`] — a minimal JSON reader used to validate those results.
+//! * [`json`] — a minimal JSON reader plus a canonical (sorted-key,
+//!   whitespace-free, round-tripping) writer used to validate bench
+//!   results and to content-address experiment-matrix cache entries.
+//! * [`digest`] — streaming FNV-1a 64-bit digests, shared by the golden
+//!   regression tests and the experiment matrix's cache keys.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod bench;
+pub mod digest;
 pub mod json;
 pub mod prop;
 pub mod rng;

@@ -165,4 +165,28 @@ echo "$dyn_out" | grep -q "ladder means: default=" \
 [ -s results/dyn_handover.txt ] \
     || { echo "verify.sh: results/dyn_handover.txt missing or empty" >&2; exit 1; }
 
+echo "== experiment-matrix smoke (repro matrix, quick, twice) =="
+# Cold run into a throwaway cache, then a warm re-run: the second pass must
+# be 100% cache hits (0 executed) and byte-identical — the determinism +
+# caching contract of crates/experiments/src/expmatrix.
+matrix_cache="$(mktemp -d /tmp/matrix-smoke.XXXXXX)"
+trap 'rm -f "$tmp_json" "$tmp_trace"; rm -rf "$matrix_cache"' EXIT
+matrix_spec="crates/experiments/specs/smoke.json"
+cold_out="$(mktemp /tmp/matrix-cold.XXXXXX.txt)"
+warm_out="$(mktemp /tmp/matrix-warm.XXXXXX.txt)"
+warm_err="$(mktemp /tmp/matrix-warm.XXXXXX.err)"
+trap 'rm -f "$tmp_json" "$tmp_trace" "$cold_out" "$warm_out" "$warm_err"; rm -rf "$matrix_cache"' EXIT
+cargo run --offline --release -p experiments --bin repro -- \
+    matrix "$matrix_spec" --quick --no-save --cache-dir "$matrix_cache" \
+    > "$cold_out"
+cargo run --offline --release -p experiments --bin repro -- \
+    matrix "$matrix_spec" --quick --no-save --cache-dir "$matrix_cache" \
+    > "$warm_out" 2> "$warm_err"
+grep -q "0 misses (0 invalid), executed 0" "$warm_err" \
+    || { echo "verify.sh: warm matrix run was not 100% cache hits:" >&2; \
+         cat "$warm_err" >&2; exit 1; }
+cmp -s "$cold_out" "$warm_out" \
+    || { echo "verify.sh: warm matrix output differs from cold run" >&2; exit 1; }
+echo "verify.sh: matrix smoke ok (warm run: 100% hits, output unchanged)"
+
 echo "verify.sh: all green"
