@@ -1,0 +1,71 @@
+//! Sharded-sweep scaling: the ~10k-connection browse population, monolith
+//! vs sharded.
+//!
+//! This bench is deliberately **not** part of the CI perf gate (it is
+//! absent from `scripts/verify.sh`'s smoke list): one monolith iteration
+//! simulates ten thousand connections through a single engine and takes
+//! seconds. It exists to track the headline scaling claim — a sweep split
+//! into per-unit engines sustains ≥3× the aggregate events/s of the same
+//! population forced through one engine, because each small engine's
+//! working set (wheel slab, segment arena, per-path queues) stays
+//! cache-resident while the monolith cycles all of it every simulated
+//! instant. Shard workers also reuse engine allocations across shard runs
+//! (`Testbed::new_with_queue`), so the shard-count overhead is one warm-up
+//! per worker, not per shard.
+//!
+//! Both variants produce the same merged digest (the DESIGN.md §11
+//! equivalence contract, pinned at 1k scale by `experiments/tests/shard.rs`);
+//! the bench asserts it too, so the speedup can never come from simulating
+//! less. The recorded `workers` field says what the rates were measured on:
+//! run with `TESTKIT_WORKERS=1` for the pure locality effect, unset for
+//! locality + parallelism.
+
+use experiments::sharding::{browse_10k, browse_1k, run_sweep, SweepOptions};
+use experiments::{default_workers, ENV_WORKERS};
+use testkit::bench::{
+    black_box, criterion_group, criterion_main, Criterion, Throughput, ENV_SMOKE,
+};
+
+fn bench_sharded(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sharded");
+    group.sample_size(10);
+    let workers = default_workers(
+        std::env::var(ENV_WORKERS).ok().as_deref(),
+        std::thread::available_parallelism().map_or(1, |n| n.get()),
+    );
+    group.workers(workers);
+
+    // A monolithic 10k-connection iteration takes the better part of a
+    // minute, so the smoke pass (verify.sh) downshifts to the 1k
+    // population — same code paths, same equivalence assert, ~50× cheaper.
+    // Full runs (bench_update.sh) measure the real thing.
+    let smoke = std::env::var(ENV_SMOKE).map(|v| v != "0" && !v.is_empty()).unwrap_or(false);
+    let pop = if smoke { browse_1k(1) } else { browse_10k(1) };
+    let sharded_opts = SweepOptions::default();
+    let mono_opts = SweepOptions { max_shards: 1, ..SweepOptions::default() };
+
+    let sharded = run_sweep(&pop, &sharded_opts);
+    let mono = run_sweep(&pop, &mono_opts);
+    assert_eq!(
+        sharded.digest, mono.digest,
+        "sharded and monolithic sweep runs must merge identically"
+    );
+
+    group.throughput(Throughput::Elements(sharded.events_total()));
+    group.bench_function("browse_10k", |b| {
+        b.iter(|| black_box(run_sweep(&pop, &sharded_opts).digest))
+    });
+
+    // The monolith baseline is the denominator of the scaling claim, not a
+    // number anyone optimizes; three samples bound the cost at ~3 minutes.
+    group.sample_size(3);
+    group.throughput(Throughput::Elements(mono.events_total()));
+    group.bench_function("browse_10k_mono", |b| {
+        b.iter(|| black_box(run_sweep(&pop, &mono_opts).digest))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_sharded);
+criterion_main!(benches);

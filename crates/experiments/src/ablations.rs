@@ -163,6 +163,7 @@ fn run_streaming_with_conn(cfg: &StreamingConfig, conn_cfg: mptcp::ConnConfig) -
             subflow_paths: vec![0, 1],
         }],
         seed: cfg.seed,
+        path_seeds: None,
         recorder: cfg.recorder,
         scenario: Scenario::default(),
         telemetry: telemetry::TelemetryHandle::off(),

@@ -6,6 +6,8 @@
 //! repro list                         show available ids
 //! repro matrix <spec.json> [--quick] [--no-save] [--force] [--dry-run]
 //!              [--cache-dir DIR]     declarative experiment matrix
+//! repro sweep [--units N] [--shards N] [--workers N] [--seed N]
+//!                                    sharded browse population sweep
 //! repro --trace out.jsonl [--quick] [--scenario dyn.json] [--seed N]
 //!                                    traced canonical run (0.3/8.6, ECF)
 //! ```
@@ -88,6 +90,24 @@ fn main() {
         return;
     }
 
+    if target.as_deref() == Some("sweep") {
+        let num = |name: &str, default: usize| -> usize {
+            flag_value(name).map_or(default, |s| {
+                s.parse().unwrap_or_else(|_| {
+                    eprintln!("{name} needs an integer, got '{s}'");
+                    std::process::exit(2);
+                })
+            })
+        };
+        run_sweep_cmd(
+            num("--units", if quick { 20 } else { 167 }),
+            num("--shards", 0),
+            flag_value("--workers").map(|_| num("--workers", 1)).filter(|&w| w > 0),
+            num("--seed", 1) as u64,
+        );
+        return;
+    }
+
     match target.as_deref() {
         None | Some("list") => {
             println!("available experiments:\n");
@@ -163,6 +183,30 @@ fn run_matrix_cmd(spec_path: &str, opts: experiments::MatrixOptions, save: bool)
     }) {
         eprintln!("warning: could not write results/{}.txt: {err}", spec.name);
     }
+}
+
+fn run_sweep_cmd(units: usize, max_shards: usize, workers: Option<usize>, seed: u64) {
+    use experiments::{browse_population, run_sweep, SweepOptions};
+    let pop = browse_population(seed, units, 6, 1.0, 10.0, ecf_core::SchedulerKind::Ecf);
+    let n_conns: usize = pop.units.iter().map(|u| u.conns.len()).sum();
+    eprintln!(
+        "== sweep: {units} units, {n_conns} conns, {} paths, seed {seed} ==",
+        pop.paths.len()
+    );
+    let started = std::time::Instant::now();
+    let report = run_sweep(
+        &pop,
+        &SweepOptions { max_shards, workers, telemetry: telemetry::TelemetryHandle::off() },
+    );
+    let wall = started.elapsed().as_secs_f64();
+    let events = report.events_total();
+    let loaded = report.units.iter().filter(|u| u.page_load.is_some()).count();
+    println!("shards:      {}", report.shard_events.len());
+    println!("events:      {events}");
+    println!("events/s:    {:.0}", events as f64 / wall.max(1e-9));
+    println!("pages done:  {loaded}/{units}");
+    println!("digest:      {}", testkit::digest::hex16(report.digest));
+    eprintln!("== sweep done in {wall:.1}s ==");
 }
 
 fn run_trace(path: &str, effort: Effort, scenario: Option<Scenario>, seed: u64) {

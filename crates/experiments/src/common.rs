@@ -46,16 +46,37 @@ impl Effort {
     }
 }
 
-/// Map `f` over `items` on up to `available_parallelism` threads, preserving
-/// order. Runs are independent simulations, so this is safe and near-linear.
+/// Environment variable overriding [`parallel_map`]'s worker count, so CI
+/// boxes and laptops can pin parallelism reproducibly. Explicit
+/// [`parallel_map_workers`] calls are never overridden.
+pub const ENV_WORKERS: &str = "TESTKIT_WORKERS";
+
+/// Maximum worker count accepted from [`ENV_WORKERS`].
+pub const MAX_WORKERS: usize = 256;
+
+/// Resolve the default worker count: [`ENV_WORKERS`] if set and parseable
+/// (clamped to `1..=`[`MAX_WORKERS`]), else `fallback`. Unparseable values
+/// are ignored rather than fatal — a bench box with a stale variable should
+/// run, not die.
+pub fn default_workers(env: Option<&str>, fallback: usize) -> usize {
+    match env.and_then(|v| v.trim().parse::<usize>().ok()) {
+        Some(w) => w.clamp(1, MAX_WORKERS),
+        None => fallback,
+    }
+}
+
+/// Map `f` over `items` on up to `available_parallelism` threads (or the
+/// [`ENV_WORKERS`] override), preserving order. Runs are independent
+/// simulations, so this is safe and near-linear.
 pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
 where
     T: Send,
     R: Send,
     F: Fn(T) -> R + Sync,
 {
-    let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
-    parallel_map_workers(items, f, workers)
+    let fallback = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let env = std::env::var(ENV_WORKERS).ok();
+    parallel_map_workers(items, f, default_workers(env.as_deref(), fallback))
 }
 
 /// [`parallel_map`] with an explicit worker count (tests force multiple
@@ -221,6 +242,7 @@ pub fn run_streaming(cfg: &StreamingConfig) -> StreamingOutcome {
             subflow_paths: (0..2 * per_if).collect(),
         }],
         seed: cfg.seed,
+        path_seeds: None,
         recorder: cfg.recorder,
         scenario,
         telemetry: cfg.telemetry.clone(),
@@ -369,6 +391,7 @@ pub fn run_browse_n(
         paths: vec![PathConfig::wifi(wifi), PathConfig::lte(lte)],
         conns,
         seed,
+        path_seeds: None,
         recorder: RecorderConfig::default(),
         scenario: Scenario::default(),
         telemetry: telemetry::TelemetryHandle::off(),
@@ -392,6 +415,18 @@ pub fn secs(s: u64) -> Duration {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn default_workers_clamps_and_falls_back() {
+        assert_eq!(default_workers(None, 4), 4);
+        assert_eq!(default_workers(Some("8"), 4), 8);
+        assert_eq!(default_workers(Some(" 2 "), 4), 2);
+        // Out-of-range values clamp; garbage falls back.
+        assert_eq!(default_workers(Some("0"), 4), 1);
+        assert_eq!(default_workers(Some("99999"), 4), MAX_WORKERS);
+        assert_eq!(default_workers(Some("many"), 4), 4);
+        assert_eq!(default_workers(Some(""), 4), 4);
+    }
 
     #[test]
     fn parallel_map_preserves_order() {

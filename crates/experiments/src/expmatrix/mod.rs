@@ -52,7 +52,7 @@ use testkit::json::Value;
 pub use cache::{Cache, Lookup};
 pub use spec::{expand, Cell, Expansion, Spec};
 
-use crate::common::{parallel_map, parallel_map_workers, Effort};
+use crate::common::Effort;
 
 /// Cache entry layout version; bump when the entry file format changes.
 pub const CACHE_SCHEMA: f64 = 1.0;
@@ -210,10 +210,11 @@ pub fn run_matrix(spec: &Spec, opts: &MatrixOptions) -> Result<MatrixOutcome, St
         (0..exp.cells.len()).filter(|&i| results[i].is_none()).collect();
     outcome.executed = miss_idx.len();
     let run_one = |i: usize| cells::execute(&exp.cells[i].config);
-    let fresh: Vec<Result<Value, String>> = match opts.workers {
-        Some(w) => parallel_map_workers(miss_idx.clone(), run_one, w),
-        None => parallel_map(miss_idx.clone(), run_one),
-    };
+    // Matrix cells are independent runs — exactly the shape a population
+    // shard is — so they ride the sweep executor: same worker override,
+    // same load-balance accounting.
+    let fresh: Vec<Result<Value, String>> =
+        crate::sharding::run_balanced(miss_idx.clone(), run_one, opts.workers, &opts.telemetry);
     for (i, r) in miss_idx.into_iter().zip(fresh) {
         let r = r.map_err(|e| format!("cell {i}: {e}"))?;
         cache.store(exp.cells[i].digest, &exp.cells[i].key, &r)?;

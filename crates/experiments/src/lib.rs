@@ -27,16 +27,22 @@ pub mod common;
 pub mod downloads;
 pub mod dynamics;
 pub mod expmatrix;
+pub mod sharding;
 pub mod streaming;
 pub mod trace;
 pub mod web;
 pub mod wild;
 
 pub use common::{
-    parallel_map, parallel_map_workers, run_browse, run_browse_n, run_streaming, run_wget, Effort,
-    StreamingConfig, StreamingOutcome, BW_SET, VARIABLE_BW_SET,
+    default_workers, parallel_map, parallel_map_workers, run_browse, run_browse_n, run_streaming,
+    run_wget, Effort, ENV_WORKERS,
+    StreamingConfig, StreamingOutcome, BW_SET, MAX_WORKERS, VARIABLE_BW_SET,
 };
 pub use expmatrix::{run_matrix, MatrixOptions, MatrixOutcome};
+pub use sharding::{
+    browse_10k, browse_1k, browse_population, partition, plan_shards, run_balanced, run_sweep,
+    PopConn, PopUnit, Population, SweepOptions, SweepReport, UnitReport,
+};
 pub use trace::{run_traced, TraceRun};
 
 /// An experiment: id, paper artifact, and the function that regenerates it.

@@ -1,0 +1,731 @@
+//! Sharded multi-engine sweeps: many-connection populations partitioned by
+//! link-connectivity into independent per-core simulation shards.
+//!
+//! Connections that never share a link cannot interact — no queue they both
+//! occupy, no scheduler that sees both — so a population of browse units
+//! splits into connectivity components that simulate independently. This is
+//! the classic parallel-DES decomposition: each shard is a complete
+//! [`Testbed`] over its own slice of the path/connection universe, shards
+//! run on the lock-free [`parallel_map`] fan-out, and their per-unit metrics
+//! merge back in fixed global order.
+//!
+//! The contract (DESIGN.md §11) is *bit-identical equivalence*: the merged
+//! result of a sharded sweep equals the monolithic single-engine run of the
+//! same population, at any shard count and any worker count. Three design
+//! decisions carry that guarantee:
+//!
+//! 1. **Partitioning** is a union-find over global path indices; every
+//!    connection of a unit and every path it touches land in one component,
+//!    and a component is never split across shards.
+//! 2. **Seed derivation** is keyed by *global* path index: shard testbeds
+//!    receive explicit [`TestbedConfig::path_seeds`] equal to the seeds the
+//!    monolith derives (`seed + global_index * 7919`), so link jitter/loss
+//!    streams are identical regardless of where a path lands.
+//! 3. **Extraction is per-unit**: request streams are filtered per
+//!    connection and OOO pools kept per connection
+//!    ([`mptcp::RecorderConfig::ooo_per_conn`]), so merged observables are
+//!    invariant to how unrelated units interleave inside an engine.
+//!    Engine-global artifacts (event counts, `ReqId` values) are reported
+//!    but excluded from the equivalence digest.
+
+use std::sync::Mutex;
+use std::time::Instant;
+
+use ecf_core::SchedulerKind;
+use mptcp::{ConnConfig, ConnSpec, Event, RecorderConfig, RequestRecord, Testbed, TestbedConfig};
+use simnet::{EventQueue, PathConfig, Time};
+use telemetry::{Counter, TelemetryHandle};
+use testkit::digest::Fnv1a;
+use webload::{BrowserApp, ObjectRecord, PageModel};
+
+use crate::common::{parallel_map, parallel_map_workers};
+
+/// One connection of a population unit. Paths are *global* indices into
+/// [`Population::paths`].
+#[derive(Debug, Clone)]
+pub struct PopConn {
+    /// Transport parameters.
+    pub cfg: ConnConfig,
+    /// Scheduler under test.
+    pub scheduler: SchedulerKind,
+    /// Global path index per subflow; index 0 is the primary.
+    pub subflow_paths: Vec<usize>,
+}
+
+/// One unit of a population: a browser fetching its own page over its own
+/// connections (a "user"). Units sharing any path are co-scheduled into the
+/// same shard; units with disjoint paths may simulate anywhere.
+#[derive(Debug, Clone)]
+pub struct PopUnit {
+    /// The unit's connections.
+    pub conns: Vec<PopConn>,
+    /// The page this unit fetches.
+    pub page: PageModel,
+}
+
+/// A many-connection workload: the closed-world input of a sweep.
+///
+/// Scenarios (network dynamics) are not supported in populations — a
+/// scenario addresses global path indices from a single engine's clock and
+/// would need per-shard re-targeting; populations are static networks.
+#[derive(Debug, Clone)]
+pub struct Population {
+    /// Every physical path, globally indexed.
+    pub paths: Vec<PathConfig>,
+    /// The units.
+    pub units: Vec<PopUnit>,
+    /// Master seed; per-path seeds derive from it by global path index.
+    pub seed: u64,
+    /// Simulation horizon per shard (engines usually drain earlier).
+    pub horizon: Time,
+}
+
+/// A browse population: `n_units` users, each with a private WiFi + LTE
+/// path pair and `conns_per_unit` parallel connections fetching a
+/// per-unit CNN-like page. `browse_population(seed, 167, 6, ..)` is the
+/// ~1k-connection sweep; `1667` units the ~10k one.
+pub fn browse_population(
+    master_seed: u64,
+    n_units: usize,
+    conns_per_unit: usize,
+    wifi_mbps: f64,
+    lte_mbps: f64,
+    scheduler: SchedulerKind,
+) -> Population {
+    let mut paths = Vec::with_capacity(2 * n_units);
+    let mut units = Vec::with_capacity(n_units);
+    for u in 0..n_units {
+        let wifi = paths.len();
+        paths.push(PathConfig::wifi(wifi_mbps));
+        let lte = paths.len();
+        paths.push(PathConfig::lte(lte_mbps));
+        // Each user fetches their own page variant, fixed by unit index so
+        // the population is identical however it is sharded.
+        let page_seed = master_seed ^ (u as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let conns = (0..conns_per_unit)
+            .map(|_| PopConn {
+                cfg: ConnConfig::default(),
+                scheduler,
+                subflow_paths: vec![wifi, lte],
+            })
+            .collect();
+        units.push(PopUnit { conns, page: PageModel::cnn_like(page_seed) });
+    }
+    Population { paths, units, seed: master_seed, horizon: Time::from_secs(600) }
+}
+
+/// The standard ~1k-connection browse population (167 units × 6 conns).
+pub fn browse_1k(seed: u64) -> Population {
+    browse_population(seed, 167, 6, 1.0, 10.0, SchedulerKind::Ecf)
+}
+
+/// The standard ~10k-connection browse population (1667 units × 6 conns).
+pub fn browse_10k(seed: u64) -> Population {
+    browse_population(seed, 1667, 6, 1.0, 10.0, SchedulerKind::Ecf)
+}
+
+// ---------------------------------------------------------------------------
+// Partitioning
+// ---------------------------------------------------------------------------
+
+/// Union-find over `n` items, path-halving + union by size.
+struct UnionFind {
+    parent: Vec<u32>,
+    size: Vec<u32>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        UnionFind { parent: (0..n as u32).collect(), size: vec![1; n] }
+    }
+
+    fn find(&mut self, mut x: u32) -> u32 {
+        while self.parent[x as usize] != x {
+            self.parent[x as usize] = self.parent[self.parent[x as usize] as usize];
+            x = self.parent[x as usize];
+        }
+        x
+    }
+
+    fn union(&mut self, a: u32, b: u32) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return;
+        }
+        let (big, small) = if self.size[ra as usize] >= self.size[rb as usize] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[small as usize] = big;
+        self.size[big as usize] += self.size[small as usize];
+    }
+}
+
+/// Split a population into connectivity components: unit indices grouped so
+/// that any two units sharing a path (directly or transitively) are in the
+/// same group. Components are ordered by their smallest unit index, units
+/// ascending within each — a deterministic function of the population alone.
+pub fn partition(pop: &Population) -> Vec<Vec<usize>> {
+    let mut uf = UnionFind::new(pop.paths.len());
+    for unit in &pop.units {
+        // All paths of a unit are one component: its conns share app state
+        // (one browser queue), so the unit itself is indivisible.
+        let mut first: Option<usize> = None;
+        for conn in &unit.conns {
+            for &p in &conn.subflow_paths {
+                assert!(p < pop.paths.len(), "path index {p} out of range");
+                match first {
+                    None => first = Some(p),
+                    Some(f) => uf.union(f as u32, p as u32),
+                }
+            }
+        }
+    }
+    // Components keyed by root path; units assigned via their first path.
+    let mut comp_of_root: std::collections::HashMap<u32, usize> = std::collections::HashMap::new();
+    let mut components: Vec<Vec<usize>> = Vec::new();
+    for (u, unit) in pop.units.iter().enumerate() {
+        let p = unit.conns.first().and_then(|c| c.subflow_paths.first()).copied();
+        let root = uf.find(p.expect("unit with no paths") as u32);
+        let slot = *comp_of_root.entry(root).or_insert_with(|| {
+            components.push(Vec::new());
+            components.len() - 1
+        });
+        components[slot].push(u);
+    }
+    // Unit iteration order already yields components by smallest unit index
+    // and units ascending within each.
+    components
+}
+
+/// Bin components into at most `max_shards` shards round-robin (0 =
+/// unlimited, one shard per component), units sorted ascending within each
+/// shard. Deterministic given (population, max_shards); independent of
+/// worker count by construction.
+pub fn plan_shards(pop: &Population, max_shards: usize) -> Vec<Vec<usize>> {
+    let components = partition(pop);
+    let bins = if max_shards == 0 {
+        components.len()
+    } else {
+        components.len().min(max_shards)
+    }
+    .max(1);
+    let mut shards: Vec<Vec<usize>> = vec![Vec::new(); bins];
+    for (i, comp) in components.into_iter().enumerate() {
+        shards[i % bins].extend(comp);
+    }
+    for s in &mut shards {
+        s.sort_unstable();
+    }
+    shards.retain(|s| !s.is_empty());
+    shards
+}
+
+// ---------------------------------------------------------------------------
+// Per-unit observables
+// ---------------------------------------------------------------------------
+
+/// One request's shard-invariant summary (everything from
+/// [`RequestRecord`] except the engine-global `ReqId`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReqSummary {
+    /// Connection index *within the unit* (0-based).
+    pub conn: usize,
+    /// Requested bytes.
+    pub bytes: u64,
+    /// Response size in segments.
+    pub segs: u64,
+    /// First/last dsn of the response (per-connection dsn space).
+    pub first_dsn: u64,
+    /// See `first_dsn`.
+    pub last_dsn: u64,
+    /// Issue time.
+    pub issued: Time,
+    /// Server arrival, if the GET got through.
+    pub server_arrival: Option<Time>,
+    /// Completion, if delivered in order.
+    pub completed: Option<Time>,
+    /// Per subflow: last data arrival for this response.
+    pub last_arrival_per_sub: Vec<Option<Time>>,
+    /// Per subflow: data segments of this response that arrived on it.
+    pub arrivals_per_sub: Vec<u64>,
+}
+
+impl ReqSummary {
+    fn from_record(r: &RequestRecord, conn_local: usize) -> Self {
+        ReqSummary {
+            conn: conn_local,
+            bytes: r.bytes,
+            segs: r.segs,
+            first_dsn: r.first_dsn,
+            last_dsn: r.last_dsn,
+            issued: r.issued,
+            server_arrival: r.server_arrival,
+            completed: r.completed,
+            last_arrival_per_sub: r.last_arrival_per_sub.clone(),
+            arrivals_per_sub: r.arrivals_per_sub.clone(),
+        }
+    }
+}
+
+/// Everything one unit produced, independent of which engine ran it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UnitReport {
+    /// Global unit index.
+    pub unit: usize,
+    /// Object download records, in the unit's completion order.
+    pub objects: Vec<ObjectRecord>,
+    /// Page load time, if the page finished inside the horizon.
+    pub page_load: Option<Time>,
+    /// The unit's requests, in issue order.
+    pub requests: Vec<ReqSummary>,
+    /// OOO delays (µs) per unit-local connection.
+    pub ooo_us_per_conn: Vec<Vec<u64>>,
+}
+
+fn fold_opt_time(h: &mut Fnv1a, t: Option<Time>) {
+    match t {
+        Some(t) => {
+            h.write_u64(1);
+            h.write_u64(t.as_nanos());
+        }
+        None => h.write_u64(0),
+    }
+}
+
+/// Fold one unit report into an equivalence digest. Every field that must
+/// be bit-identical between monolith and shards is included; engine-global
+/// artifacts are structurally absent from [`UnitReport`].
+pub fn fold_unit(h: &mut Fnv1a, r: &UnitReport) {
+    h.write_u64(r.unit as u64);
+    h.write_u64(r.objects.len() as u64);
+    for o in &r.objects {
+        h.write_u64(o.index as u64);
+        h.write_u64(o.bytes);
+        h.write_u64(o.started.as_nanos());
+        h.write_u64(o.finished.as_nanos());
+    }
+    fold_opt_time(h, r.page_load);
+    h.write_u64(r.requests.len() as u64);
+    for q in &r.requests {
+        h.write_u64(q.conn as u64);
+        h.write_u64(q.bytes);
+        h.write_u64(q.segs);
+        h.write_u64(q.first_dsn);
+        h.write_u64(q.last_dsn);
+        h.write_u64(q.issued.as_nanos());
+        fold_opt_time(h, q.server_arrival);
+        fold_opt_time(h, q.completed);
+        h.write_u64(q.last_arrival_per_sub.len() as u64);
+        for &t in &q.last_arrival_per_sub {
+            fold_opt_time(h, t);
+        }
+        for &n in &q.arrivals_per_sub {
+            h.write_u64(n);
+        }
+    }
+    h.write_u64(r.ooo_us_per_conn.len() as u64);
+    for pool in &r.ooo_us_per_conn {
+        h.write_u64(pool.len() as u64);
+        for &us in pool {
+            h.write_u64(us);
+        }
+    }
+}
+
+/// Digest a full set of unit reports (assumed in global unit order).
+pub fn digest_units(units: &[UnitReport]) -> u64 {
+    let mut h = Fnv1a::new();
+    for r in units {
+        fold_unit(&mut h, r);
+    }
+    h.finish()
+}
+
+// ---------------------------------------------------------------------------
+// The population application (one engine, many browsers)
+// ---------------------------------------------------------------------------
+
+/// Composes one [`BrowserApp`] per unit inside a single testbed, routing
+/// completions to the unit owning the connection.
+struct PopulationApp {
+    units: Vec<BrowserApp>,
+    /// Engine-local connection index → slot in `units`.
+    owner: Vec<usize>,
+}
+
+impl mptcp::Application for PopulationApp {
+    fn on_start(&mut self, now: Time, api: &mut mptcp::Api<'_>) {
+        // Units in ascending global order: the issue order of the monolith
+        // restricted to any subset is the subset's own issue order, which
+        // is what makes per-unit extraction shard-invariant.
+        for unit in &mut self.units {
+            unit.on_start(now, api);
+        }
+    }
+
+    fn on_response_complete(
+        &mut self,
+        now: Time,
+        conn: mptcp::ConnId,
+        req: mptcp::ReqId,
+        api: &mut mptcp::Api<'_>,
+    ) {
+        self.units[self.owner[conn]].on_response_complete(now, conn, req, api);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shard execution
+// ---------------------------------------------------------------------------
+
+/// What one shard run produced.
+struct ShardOutcome {
+    reports: Vec<UnitReport>,
+    events: u64,
+}
+
+/// Run the units in `unit_idxs` (ascending global indices) as one engine,
+/// recycling `queue`. Returns per-unit reports and the recovered queue.
+fn run_shard(
+    pop: &Population,
+    unit_idxs: &[usize],
+    queue: EventQueue<Event>,
+) -> (ShardOutcome, EventQueue<Event>) {
+    // Local path universe: global indices used by this shard, ascending.
+    let mut globals: Vec<usize> = unit_idxs
+        .iter()
+        .flat_map(|&u| pop.units[u].conns.iter().flat_map(|c| c.subflow_paths.iter().copied()))
+        .collect();
+    globals.sort_unstable();
+    globals.dedup();
+    let local_of = |g: usize| globals.binary_search(&g).expect("path in shard universe");
+
+    // Seeds keyed by GLOBAL index — the monolith's derivation, verbatim.
+    let path_seeds: Vec<u64> =
+        globals.iter().map(|&g| pop.seed.wrapping_add(g as u64 * 7919)).collect();
+    let paths: Vec<PathConfig> = globals.iter().map(|&g| pop.paths[g].clone()).collect();
+
+    let mut conns: Vec<ConnSpec> = Vec::new();
+    let mut apps: Vec<BrowserApp> = Vec::new();
+    let mut owner: Vec<usize> = Vec::new();
+    for (slot, &u) in unit_idxs.iter().enumerate() {
+        let unit = &pop.units[u];
+        let base = conns.len();
+        for pc in &unit.conns {
+            conns.push(ConnSpec {
+                cfg: pc.cfg,
+                scheduler: pc.scheduler,
+                custom_scheduler: None,
+                subflow_paths: pc.subflow_paths.iter().map(|&g| local_of(g)).collect(),
+            });
+            owner.push(slot);
+        }
+        apps.push(BrowserApp::with_conn_base(unit.page.clone(), unit.conns.len(), base));
+    }
+    let conn_ranges: Vec<(usize, usize)> = {
+        let mut out = Vec::with_capacity(unit_idxs.len());
+        let mut base = 0;
+        for &u in unit_idxs {
+            let n = pop.units[u].conns.len();
+            out.push((base, n));
+            base += n;
+        }
+        out
+    };
+
+    let cfg = TestbedConfig {
+        paths,
+        conns,
+        seed: pop.seed,
+        path_seeds: Some(path_seeds),
+        recorder: RecorderConfig { ooo_per_conn: true, ..RecorderConfig::default() },
+        scenario: Default::default(),
+        // Shard-internal telemetry stays off: conn/path ids are shard-local
+        // and would mislead a merged trace. Sweep-level load-balance
+        // counters are flushed by `run_sweep` instead.
+        telemetry: TelemetryHandle::off(),
+    };
+    let mut tb = Testbed::new_with_queue(cfg, PopulationApp { units: apps, owner }, queue);
+    tb.run_until(pop.horizon);
+
+    let world = tb.world();
+    let reports = unit_idxs
+        .iter()
+        .zip(&conn_ranges)
+        .enumerate()
+        .map(|(slot, (&u, &(base, n)))| {
+            let app = &tb.app().units[slot];
+            UnitReport {
+                unit: u,
+                objects: app.objects.clone(),
+                page_load: app.page_load_time,
+                requests: world
+                    .recorder
+                    .requests
+                    .iter()
+                    .filter(|r| (base..base + n).contains(&r.conn))
+                    .map(|r| ReqSummary::from_record(r, r.conn - base))
+                    .collect(),
+                ooo_us_per_conn: (base..base + n)
+                    .map(|c| world.recorder.ooo_delays_us_per_conn[c].clone())
+                    .collect(),
+            }
+        })
+        .collect();
+    let events = tb.events_processed();
+    (ShardOutcome { reports, events }, tb.into_queue())
+}
+
+// ---------------------------------------------------------------------------
+// The sweep driver
+// ---------------------------------------------------------------------------
+
+/// How to run a sweep.
+#[derive(Debug, Clone)]
+pub struct SweepOptions {
+    /// Maximum shard count: 1 = monolithic single engine, 0 = one shard per
+    /// connectivity component. The merged result is identical for every
+    /// value (the equivalence contract).
+    pub max_shards: usize,
+    /// Explicit worker count; `None` uses [`parallel_map`]'s default
+    /// (available cores, `TESTKIT_WORKERS` override). Results are identical
+    /// for every value.
+    pub workers: Option<usize>,
+    /// Sink for the per-sweep load-balance counters.
+    pub telemetry: TelemetryHandle,
+}
+
+impl Default for SweepOptions {
+    fn default() -> Self {
+        SweepOptions { max_shards: 0, workers: None, telemetry: TelemetryHandle::off() }
+    }
+}
+
+/// A sweep's merged result.
+#[derive(Debug, Clone)]
+pub struct SweepReport {
+    /// Per-unit reports in global unit order — the equivalence surface.
+    pub units: Vec<UnitReport>,
+    /// FNV-1a digest over `units` ([`digest_units`]): bit-identical across
+    /// shard counts and worker counts.
+    pub digest: u64,
+    /// Engine events per shard, in shard order (diagnostic; *not* part of
+    /// the digest — a monolith counts one `AppStart`, k shards count k).
+    pub shard_events: Vec<u64>,
+    /// Wall nanoseconds per shard, in shard order (diagnostic).
+    pub shard_wall_ns: Vec<u64>,
+}
+
+impl SweepReport {
+    /// Total engine events across shards.
+    pub fn events_total(&self) -> u64 {
+        self.shard_events.iter().sum()
+    }
+}
+
+/// Flush per-sweep load-balance counters: totals summed, imbalance ratios
+/// (max/min, permille) kept as running maxima across sweeps.
+fn flush_load_balance(tel: &TelemetryHandle, events: &[u64], wall_ns: &[u64]) {
+    if !tel.is_enabled() || events.is_empty() {
+        return;
+    }
+    tel.add(Counter::ShardRuns, events.len() as u64);
+    tel.add(Counter::ShardEvents, events.iter().sum());
+    tel.add(Counter::ShardWallNs, wall_ns.iter().sum());
+    let permille = |vals: &[u64]| -> Option<u64> {
+        let max = *vals.iter().max()?;
+        let min = *vals.iter().min()?;
+        max.saturating_mul(1000).checked_div(min)
+    };
+    if let Some(p) = permille(events) {
+        tel.set_max(Counter::ShardEventsImbalancePermille, p);
+    }
+    if let Some(p) = permille(wall_ns) {
+        tel.set_max(Counter::ShardWallImbalancePermille, p);
+    }
+}
+
+/// Run a population, sharded per `opts`, and merge deterministically.
+///
+/// `max_shards = 1` is the monolithic reference run; any other value
+/// produces the same [`SweepReport::digest`]. Shard workers recycle engine
+/// allocations (event-queue slabs) through a shared pool, so a sweep of
+/// many small shards performs one warm-up per worker, not per shard.
+pub fn run_sweep(pop: &Population, opts: &SweepOptions) -> SweepReport {
+    let shards = plan_shards(pop, opts.max_shards);
+    let pool: Mutex<Vec<EventQueue<Event>>> = Mutex::new(Vec::new());
+
+    let run_one = |unit_idxs: Vec<usize>| {
+        let queue = pool.lock().expect("queue pool").pop().unwrap_or_default();
+        let started = Instant::now();
+        let (out, queue) = run_shard(pop, &unit_idxs, queue);
+        let wall_ns = started.elapsed().as_nanos() as u64;
+        pool.lock().expect("queue pool").push(queue);
+        (out, wall_ns)
+    };
+    let outcomes: Vec<(ShardOutcome, u64)> = match opts.workers {
+        Some(w) => parallel_map_workers(shards, run_one, w),
+        None => parallel_map(shards, run_one),
+    };
+
+    // Merge in fixed shard order; unit reports land in global unit order.
+    let mut units: Vec<Option<UnitReport>> = (0..pop.units.len()).map(|_| None).collect();
+    let mut shard_events = Vec::with_capacity(outcomes.len());
+    let mut shard_wall_ns = Vec::with_capacity(outcomes.len());
+    for (out, wall_ns) in outcomes {
+        shard_events.push(out.events);
+        shard_wall_ns.push(wall_ns);
+        for r in out.reports {
+            let slot = r.unit;
+            assert!(units[slot].is_none(), "unit {slot} reported twice");
+            units[slot] = Some(r);
+        }
+    }
+    let units: Vec<UnitReport> =
+        units.into_iter().map(|r| r.expect("every unit simulated")).collect();
+
+    flush_load_balance(&opts.telemetry, &shard_events, &shard_wall_ns);
+    SweepReport { digest: digest_units(&units), units, shard_events, shard_wall_ns }
+}
+
+/// Map `f` over independent work items with the sweep executor's load
+/// accounting: per-item wall time feeds the same shard load-balance
+/// counters a population sweep flushes. This is the path `repro matrix`
+/// cell execution rides, so the experiment matrix inherits the sharded
+/// engine plumbing (worker override, balance telemetry) without owning any
+/// of it.
+pub fn run_balanced<T, R, F>(
+    items: Vec<T>,
+    f: F,
+    workers: Option<usize>,
+    tel: &TelemetryHandle,
+) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let timed = |t: T| {
+        let started = Instant::now();
+        let r = f(t);
+        (r, started.elapsed().as_nanos() as u64)
+    };
+    let out: Vec<(R, u64)> = match workers {
+        Some(w) => parallel_map_workers(items, timed, w),
+        None => parallel_map(items, timed),
+    };
+    let (results, wall_ns): (Vec<R>, Vec<u64>) = out.into_iter().unzip();
+    if tel.is_enabled() && !wall_ns.is_empty() {
+        tel.add(Counter::ShardRuns, wall_ns.len() as u64);
+        tel.add(Counter::ShardWallNs, wall_ns.iter().sum());
+        let max = *wall_ns.iter().max().expect("non-empty");
+        let min = *wall_ns.iter().min().expect("non-empty");
+        if let Some(p) = max.saturating_mul(1000).checked_div(min) {
+            tel.set_max(Counter::ShardWallImbalancePermille, p);
+        }
+    }
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A small population for fast tests: tiny pages, few units.
+    fn tiny_pop(seed: u64, n_units: usize) -> Population {
+        let mut pop = browse_population(seed, n_units, 2, 1.0, 10.0, SchedulerKind::Ecf);
+        for (u, unit) in pop.units.iter_mut().enumerate() {
+            unit.page = PageModel::lognormal(seed ^ u as u64, 8, 8192.0, 1.6, 200, 40_000);
+        }
+        pop
+    }
+
+    #[test]
+    fn partition_keeps_path_sharers_together() {
+        let mut pop = tiny_pop(1, 4);
+        // Make unit 3 share unit 0's WiFi path: transitively one component.
+        pop.units[3].conns[0].subflow_paths = vec![0, 7];
+        let comps = partition(&pop);
+        assert_eq!(comps, vec![vec![0, 3], vec![1], vec![2]]);
+    }
+
+    #[test]
+    fn partition_shared_bottleneck_cannot_shard() {
+        let mut pop = tiny_pop(1, 3);
+        // Everyone rides path 0 as primary — the shared-bottleneck case.
+        for unit in &mut pop.units {
+            for conn in &mut unit.conns {
+                conn.subflow_paths[0] = 0;
+            }
+        }
+        let comps = partition(&pop);
+        assert_eq!(comps.len(), 1, "shared link must collapse to one component");
+        assert_eq!(plan_shards(&pop, 8).len(), 1);
+    }
+
+    #[test]
+    fn plan_shards_round_robins_components() {
+        let pop = tiny_pop(1, 5);
+        let shards = plan_shards(&pop, 2);
+        assert_eq!(shards, vec![vec![0, 2, 4], vec![1, 3]]);
+        // Unlimited: one shard per component.
+        assert_eq!(plan_shards(&pop, 0).len(), 5);
+        // Monolith: everything in one engine.
+        assert_eq!(plan_shards(&pop, 1), vec![vec![0, 1, 2, 3, 4]]);
+    }
+
+    #[test]
+    fn sharded_sweep_equals_monolith() {
+        let pop = tiny_pop(42, 4);
+        let mono = run_sweep(&pop, &SweepOptions { max_shards: 1, ..Default::default() });
+        for max_shards in [2, 0] {
+            let sharded =
+                run_sweep(&pop, &SweepOptions { max_shards, ..Default::default() });
+            assert_eq!(sharded.digest, mono.digest, "max_shards={max_shards}");
+            assert_eq!(sharded.units, mono.units, "max_shards={max_shards}");
+        }
+        // Every unit finished its page inside the horizon.
+        assert!(mono.units.iter().all(|u| u.page_load.is_some()));
+        assert!(!mono.units.is_empty());
+    }
+
+    #[test]
+    fn worker_count_does_not_change_the_merge() {
+        let pop = tiny_pop(7, 3);
+        let base = run_sweep(
+            &pop,
+            &SweepOptions { max_shards: 0, workers: Some(1), ..Default::default() },
+        );
+        for workers in [2, 8] {
+            let alt = run_sweep(
+                &pop,
+                &SweepOptions { max_shards: 0, workers: Some(workers), ..Default::default() },
+            );
+            assert_eq!(alt.digest, base.digest, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn load_balance_counters_flush() {
+        let tel = TelemetryHandle::enabled();
+        let pop = tiny_pop(3, 3);
+        let report = run_sweep(
+            &pop,
+            &SweepOptions { max_shards: 0, workers: Some(2), telemetry: tel.clone() },
+        );
+        assert_eq!(tel.counter(Counter::ShardRuns), 3);
+        assert_eq!(tel.counter(Counter::ShardEvents), report.events_total());
+        assert!(tel.counter(Counter::ShardWallNs) > 0);
+        assert!(tel.counter(Counter::ShardEventsImbalancePermille) >= 1000);
+    }
+
+    #[test]
+    fn run_balanced_preserves_order_and_accounts() {
+        let tel = TelemetryHandle::enabled();
+        let out = run_balanced((0..20).collect::<Vec<i32>>(), |x| x * 2, Some(4), &tel);
+        assert_eq!(out, (0..20).map(|x| x * 2).collect::<Vec<_>>());
+        assert_eq!(tel.counter(Counter::ShardRuns), 20);
+    }
+}

@@ -68,6 +68,7 @@ fn wild_testbed(
             subflow_paths: vec![0, 1],
         }],
         seed,
+        path_seeds: None,
         recorder: RecorderConfig::default(),
         scenario: dynamics,
         telemetry: telemetry::TelemetryHandle::off(),

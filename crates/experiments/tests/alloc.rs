@@ -46,15 +46,19 @@ unsafe impl GlobalAlloc for CountingAlloc {
 #[global_allocator]
 static COUNTER: CountingAlloc = CountingAlloc;
 
-#[test]
-fn steady_state_deliver_loop_allocates_nothing() {
+fn wget_cfg() -> TestbedConfig {
     let mut cfg = TestbedConfig::wifi_lte(8.6, 9.6, ecf_core::SchedulerKind::Ecf, 7);
     cfg.recorder = RecorderConfig {
         ooo_delays: false,
         ..RecorderConfig::default()
     };
+    cfg
+}
+
+#[test]
+fn steady_state_deliver_loop_allocates_nothing() {
     // Big enough that the download is still in full flight at t = 30 s.
-    let mut tb = Testbed::new(cfg, WgetApp::new(200 * 1024 * 1024));
+    let mut tb = Testbed::new(wget_cfg(), WgetApp::new(200 * 1024 * 1024));
 
     tb.run_until(Time::from_secs(10));
     let events_before = tb.events_processed();
@@ -75,5 +79,31 @@ fn steady_state_deliver_loop_allocates_nothing() {
     assert_eq!(
         allocs, 0,
         "steady-state deliver loop allocated {allocs} times over {events} events"
+    );
+
+    // Second run on the recycled event queue — the shard-worker reuse path
+    // (`Testbed::into_queue` → `new_with_queue`). The recovered slab must
+    // (a) cut the warm-up's allocator traffic against the cold run above
+    // and (b) reach the same zero-allocation steady state.
+    let queue = tb.into_queue();
+    let cold_start = ALLOCS.load(Ordering::Relaxed);
+    let mut tb = Testbed::new_with_queue(wget_cfg(), WgetApp::new(200 * 1024 * 1024), queue);
+    tb.run_until(Time::from_secs(10));
+    let warm_allocs = ALLOCS.load(Ordering::Relaxed) - cold_start;
+    assert!(
+        warm_allocs < allocs_before / 2,
+        "recycled-queue warm-up allocated {warm_allocs} times, \
+         not clearly cheaper than the cold run's {allocs_before}"
+    );
+
+    let allocs_before = ALLOCS.load(Ordering::Relaxed);
+    let events_before = tb.events_processed();
+    tb.run_until(Time::from_secs(30));
+    let allocs = ALLOCS.load(Ordering::Relaxed) - allocs_before;
+    let events = tb.events_processed() - events_before;
+    assert!(events > 20_000, "recycled run processed only {events} events");
+    assert_eq!(
+        allocs, 0,
+        "recycled-queue steady state allocated {allocs} times over {events} events"
     );
 }

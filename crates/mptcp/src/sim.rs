@@ -156,6 +156,13 @@ pub struct TestbedConfig {
     pub conns: Vec<ConnSpec>,
     /// Seed for link jitter/loss.
     pub seed: u64,
+    /// Explicit per-path RNG seeds overriding the derivation from `seed`.
+    /// By default path `i` seeds with `seed + i*7919`; a sharded sweep
+    /// passes the seeds the paths would have received at their *global*
+    /// indices in the monolithic run, which is what makes a shard's link
+    /// behavior bit-identical to the monolith's. Length must match `paths`
+    /// when present.
+    pub path_seeds: Option<Vec<u64>>,
     /// What to record.
     pub recorder: RecorderConfig,
     /// Network dynamics for the run: rate/delay traces, stochastic rate
@@ -181,6 +188,7 @@ impl TestbedConfig {
             paths: vec![PathConfig::wifi(wifi_mbps), PathConfig::lte(lte_mbps)],
             conns: vec![ConnSpec::new(scheduler, vec![0, 1])],
             seed,
+            path_seeds: None,
             recorder: RecorderConfig::default(),
             scenario: Scenario::default(),
             telemetry: TelemetryHandle::off(),
@@ -252,12 +260,19 @@ impl Api<'_> {
 
 impl World {
     fn build(cfg: &mut TestbedConfig) -> Self {
+        if let Some(seeds) = &cfg.path_seeds {
+            assert_eq!(seeds.len(), cfg.paths.len(), "one seed per path");
+        }
         let paths: Vec<Path> = cfg
             .paths
             .iter()
             .enumerate()
             .map(|(i, pc)| {
-                let mut p = Path::new(pc, cfg.seed.wrapping_add(i as u64 * 7919));
+                let seed = match &cfg.path_seeds {
+                    Some(seeds) => seeds[i],
+                    None => cfg.seed.wrapping_add(i as u64 * 7919),
+                };
+                let mut p = Path::new(pc, seed);
                 p.attach_telemetry(&cfg.telemetry, i as u16);
                 p
             })
@@ -487,7 +502,7 @@ impl World {
         delivered.clear();
         let out = self.conns[conn].receiver.on_segment_into(now, sub, seg, &mut delivered);
         for d in &delivered {
-            self.recorder.note_ooo(d.ooo_delay);
+            self.recorder.note_ooo(conn, d.ooo_delay);
         }
         self.delivered_buf = delivered;
 
@@ -755,18 +770,28 @@ impl<A: Application> Model for Sim<A> {
 
 /// A ready-to-run testbed: engine + model, with control events pre-scheduled.
 pub struct Testbed<A: Application> {
-    engine: Engine<Sim<A>>,
+    /// `None` only after [`Testbed::into_queue`] — every accessor may
+    /// assume `Some` while the testbed is alive.
+    engine: Option<Engine<Sim<A>>>,
 }
 
 impl<A: Application> Testbed<A> {
     /// Build the world from `cfg`, install `app`, and schedule the start
     /// event plus the compiled scenario's first control event (each
     /// control chain-schedules its successor when it fires).
-    pub fn new(mut cfg: TestbedConfig, app: A) -> Self {
+    pub fn new(cfg: TestbedConfig, app: A) -> Self {
+        Testbed::new_with_queue(cfg, app, EventQueue::new())
+    }
+
+    /// Like [`Testbed::new`], but recycling an event queue recovered from a
+    /// previous run via [`Testbed::into_queue`]. The queue is reset but
+    /// keeps its slab, so a shard worker running many short simulations
+    /// pays the queue's growth cost once instead of per run.
+    pub fn new_with_queue(mut cfg: TestbedConfig, app: A, queue: EventQueue<Event>) -> Self {
         let world = World::build(&mut cfg);
         let sampling = world.sampling;
         let first_control = world.controls.first().map(|e| e.at);
-        let mut engine = Engine::new(Sim { world, app });
+        let mut engine = Engine::with_queue(Sim { world, app }, queue);
         engine.queue_mut().schedule(Time::ZERO, Event::AppStart);
         if sampling {
             engine.queue_mut().schedule(Time::ZERO, Event::Sample);
@@ -774,32 +799,45 @@ impl<A: Application> Testbed<A> {
         if let Some(at) = first_control {
             engine.queue_mut().schedule(at, Event::Control { idx: 0 });
         }
-        Testbed { engine }
+        Testbed { engine: Some(engine) }
+    }
+
+    fn eng(&self) -> &Engine<Sim<A>> {
+        self.engine.as_ref().expect("testbed engine taken")
     }
 
     /// Run until `deadline` (or the event queue drains).
     pub fn run_until(&mut self, deadline: Time) -> RunOutcome {
-        self.engine.run_until(deadline)
+        self.engine.as_mut().expect("testbed engine taken").run_until(deadline)
     }
 
     /// Current simulation time.
     pub fn now(&self) -> Time {
-        self.engine.now()
+        self.eng().now()
     }
 
     /// Events processed so far (diagnostic).
     pub fn events_processed(&self) -> u64 {
-        self.engine.processed()
+        self.eng().processed()
     }
 
     /// The world (measurements, connections, paths).
     pub fn world(&self) -> &World {
-        &self.engine.model.world
+        &self.eng().model.world
     }
 
     /// The application.
     pub fn app(&self) -> &A {
-        &self.engine.model.app
+        &self.eng().model.app
+    }
+
+    /// Tear the testbed down, recovering the event queue for a later
+    /// [`Testbed::new_with_queue`]. Queue diagnostics are flushed to
+    /// telemetry exactly as on drop.
+    pub fn into_queue(mut self) -> EventQueue<Event> {
+        let engine = self.engine.take().expect("testbed engine taken");
+        flush_queue_stats(&engine);
+        engine.into_queue()
     }
 }
 
@@ -807,14 +845,20 @@ impl<A: Application> Testbed<A> {
 /// telemetry counters. Done once at teardown like the connection decision
 /// counters: the queue keeps plain fields on its hot path and the sink sees
 /// the totals when the run is over.
+fn flush_queue_stats<A: Application>(engine: &Engine<Sim<A>>) {
+    let tel = &engine.model.world.tel;
+    if !tel.is_enabled() {
+        return;
+    }
+    let q = engine.queue();
+    tel.add(Counter::QueueCascades, q.cascaded_total());
+    tel.add(Counter::QueuePeakDepth, q.peak_len() as u64);
+}
+
 impl<A: Application> Drop for Testbed<A> {
     fn drop(&mut self) {
-        let tel = &self.engine.model.world.tel;
-        if !tel.is_enabled() {
-            return;
+        if let Some(engine) = &self.engine {
+            flush_queue_stats(engine);
         }
-        let q = self.engine.queue();
-        tel.add(Counter::QueueCascades, q.cascaded_total());
-        tel.add(Counter::QueuePeakDepth, q.peak_len() as u64);
     }
 }

@@ -20,6 +20,12 @@ pub struct RecorderConfig {
     pub cwnd_traces: bool,
     /// Sample per-subflow send-buffer occupancy (Fig 3).
     pub sndbuf_traces: bool,
+    /// Keep OOO delays in per-connection pools instead of one shared pool.
+    /// Sharded sweeps need this: a per-connection stream is invariant to
+    /// how other connections interleave, so shard and monolith runs produce
+    /// identical pools per connection even though the global arrival order
+    /// differs.
+    pub ooo_per_conn: bool,
     /// Sampling period for the periodic traces.
     pub sample_every: Duration,
 }
@@ -30,6 +36,7 @@ impl Default for RecorderConfig {
             ooo_delays: true,
             cwnd_traces: false,
             sndbuf_traces: false,
+            ooo_per_conn: false,
             sample_every: Duration::from_millis(100),
         }
     }
@@ -93,6 +100,9 @@ pub struct Recorder {
     pub requests: Vec<RequestRecord>,
     /// Out-of-order delays, microseconds, all connections pooled.
     pub ooo_delays_us: Vec<u64>,
+    /// Out-of-order delays split per connection (only filled when
+    /// [`RecorderConfig::ooo_per_conn`] is set; empty otherwise).
+    pub ooo_delays_us_per_conn: Vec<Vec<u64>>,
     /// CWND traces `[conn][sub]` in segments, seconds on the x axis.
     pub cwnd: Vec<Vec<TimeSeries>>,
     /// Send-buffer occupancy traces `[conn][sub]` in KB.
@@ -115,6 +125,11 @@ impl Recorder {
             // its reordering tail; avoids doubling-reallocs on the hot path.
             requests: Vec::with_capacity(256),
             ooo_delays_us: Vec::with_capacity(if cfg.ooo_delays { 4096 } else { 0 }),
+            ooo_delays_us_per_conn: if cfg.ooo_delays && cfg.ooo_per_conn {
+                vec![Vec::new(); subflow_counts.len()]
+            } else {
+                Vec::new()
+            },
             cwnd: mk(cfg.cwnd_traces),
             sndbuf: mk(cfg.sndbuf_traces),
         }
@@ -152,10 +167,14 @@ impl Recorder {
         r.arrivals_per_sub[sub] += 1;
     }
 
-    /// Record one delivered segment's reordering delay.
-    pub fn note_ooo(&mut self, delay: Duration) {
+    /// Record one delivered segment's reordering delay on `conn`.
+    pub fn note_ooo(&mut self, conn: ConnId, delay: Duration) {
         if self.cfg.ooo_delays {
-            self.ooo_delays_us.push(u64::try_from(delay.as_micros()).unwrap_or(u64::MAX));
+            let us = u64::try_from(delay.as_micros()).unwrap_or(u64::MAX);
+            self.ooo_delays_us.push(us);
+            if let Some(pool) = self.ooo_delays_us_per_conn.get_mut(conn) {
+                pool.push(us);
+            }
         }
     }
 
@@ -203,12 +222,31 @@ mod tests {
             RecorderConfig { ooo_delays: false, ..RecorderConfig::default() },
             &[1],
         );
-        rec.note_ooo(Duration::from_millis(5));
+        rec.note_ooo(0, Duration::from_millis(5));
         assert!(rec.ooo_delays_us.is_empty());
 
         let mut rec = Recorder::new(RecorderConfig::default(), &[1]);
-        rec.note_ooo(Duration::from_millis(5));
+        rec.note_ooo(0, Duration::from_millis(5));
         assert_eq!(rec.ooo_delays_secs(), vec![0.005]);
+        // Per-conn pools are off by default.
+        assert!(rec.ooo_delays_us_per_conn.is_empty());
+    }
+
+    #[test]
+    fn per_conn_ooo_pools() {
+        let mut rec = Recorder::new(
+            RecorderConfig { ooo_per_conn: true, ..RecorderConfig::default() },
+            &[2, 2, 2],
+        );
+        rec.note_ooo(1, Duration::from_micros(10));
+        rec.note_ooo(0, Duration::from_micros(20));
+        rec.note_ooo(1, Duration::from_micros(30));
+        // Global pool sees arrival order; per-conn pools see their own
+        // streams regardless of how other connections interleave.
+        assert_eq!(rec.ooo_delays_us, vec![10, 20, 30]);
+        assert_eq!(rec.ooo_delays_us_per_conn[0], vec![20]);
+        assert_eq!(rec.ooo_delays_us_per_conn[1], vec![10, 30]);
+        assert!(rec.ooo_delays_us_per_conn[2].is_empty());
     }
 
     #[test]

@@ -90,6 +90,7 @@ fn single_path_baseline_matches_link_rate() {
             subflow_paths: vec![0],
         }],
         seed: 1,
+        path_seeds: None,
         recorder: RecorderConfig::default(),
         scenario: Scenario::default(),
         telemetry: Default::default(),
@@ -130,6 +131,7 @@ fn survives_random_loss() {
             subflow_paths: vec![0, 1],
         }],
         seed: 7,
+        path_seeds: None,
         recorder: RecorderConfig::default(),
         scenario: Scenario::default(),
         telemetry: Default::default(),
@@ -179,6 +181,7 @@ fn four_subflows_two_per_interface() {
             subflow_paths: vec![0, 1, 2, 3],
         }],
         seed: 11,
+        path_seeds: None,
         recorder: RecorderConfig::default(),
         scenario: Scenario::default(),
         telemetry: Default::default(),
@@ -209,6 +212,7 @@ fn parallel_connections_share_paths() {
         paths: vec![PathConfig::wifi(2.0), PathConfig::lte(8.0)],
         conns,
         seed: 13,
+        path_seeds: None,
         recorder: RecorderConfig::default(),
         scenario: Scenario::default(),
         telemetry: Default::default(),

@@ -27,6 +27,7 @@ fn testbed(dynamics: Scenario, kind: SchedulerKind) -> TestbedConfig {
         paths: vec![PathConfig::wifi(4.0), PathConfig::lte(4.0)],
         conns: vec![ConnSpec::new(kind, vec![0, 1])],
         seed: 3,
+        path_seeds: None,
         recorder: RecorderConfig::default(),
         scenario: dynamics,
         telemetry: Default::default(),

@@ -135,6 +135,25 @@ impl<T> Arena<T> {
         }
     }
 
+    /// Drop every live value and return all slots to the free list, keeping
+    /// the backing allocation. Occupied slots get a generation bump exactly
+    /// as if they had been [`Arena::remove`]d, so handles held across a
+    /// reset go stale instead of aliasing the next occupant. This is the
+    /// engine-reuse hook: a shard worker recycles one arena across many
+    /// short runs instead of re-growing it each time.
+    pub fn reset(&mut self) {
+        self.free_head = NIL;
+        for (i, slot) in self.slots.iter_mut().enumerate().rev() {
+            let generation = match *slot {
+                Slot::Occupied { generation, .. } => generation.wrapping_add(1),
+                Slot::Free { generation, .. } => generation,
+            };
+            *slot = Slot::Free { next_free: self.free_head, generation };
+            self.free_head = i as u32;
+        }
+        self.len = 0;
+    }
+
     /// True when `idx` still addresses a live value.
     pub fn contains(&self, idx: ArenaIdx) -> bool {
         self.get(idx).is_some()
@@ -201,6 +220,29 @@ mod tests {
             }
             assert!(a.is_empty());
         }
+    }
+
+    #[test]
+    fn reset_keeps_capacity_and_stales_handles() {
+        let mut a = Arena::with_capacity(4);
+        let live = a.insert(10u32);
+        let dead = a.insert(20u32);
+        a.remove(dead);
+        a.insert(30u32);
+        assert_eq!(a.len(), 2);
+
+        a.reset();
+        assert!(a.is_empty());
+        assert_eq!(a.capacity(), 4, "reset must keep the slab");
+        assert_eq!(a.get(live), None, "pre-reset handles must go stale");
+
+        // The recycled arena refills to capacity without growing.
+        let handles: Vec<_> = (0..4u32).map(|v| a.insert(v)).collect();
+        assert_eq!(a.capacity(), 4);
+        for (i, h) in handles.iter().enumerate() {
+            assert_eq!(a.get(*h), Some(&(i as u32)));
+        }
+        assert_eq!(a.get(live), None);
     }
 
     #[test]

@@ -46,13 +46,28 @@ pub struct Engine<M: Model> {
 impl<M: Model> Engine<M> {
     /// Wrap `model` with an empty event queue at t=0.
     pub fn new(model: M) -> Self {
+        Engine::with_queue(model, EventQueue::new())
+    }
+
+    /// Wrap `model` with a recycled queue, resetting it to t=0 first. The
+    /// queue keeps its slab capacity across the reset, so a worker running
+    /// many short simulations (one engine allocation per worker, see
+    /// [`EventQueue::reset`]) skips the per-run growth entirely.
+    pub fn with_queue(model: M, mut queue: EventQueue<M::Event>) -> Self {
+        queue.reset();
         Engine {
             model,
-            queue: EventQueue::new(),
+            queue,
             now: Time::ZERO,
             processed: 0,
             event_budget: u64::MAX,
         }
+    }
+
+    /// Tear the engine down, recovering the queue for reuse by a later
+    /// [`Engine::with_queue`]. Pending events are dropped with it.
+    pub fn into_queue(self) -> EventQueue<M::Event> {
+        self.queue
     }
 
     /// Current simulation time (time of the last handled event).
@@ -187,6 +202,24 @@ mod tests {
         eng.queue_mut().schedule(Time::from_millis(5), 7);
         assert_eq!(eng.run_until(Time::from_millis(5)), RunOutcome::Drained);
         assert_eq!(eng.model.seen.len(), 1);
+    }
+
+    #[test]
+    fn recycled_queue_runs_like_fresh() {
+        let mut eng = Engine::new(Recorder { seen: vec![] });
+        eng.queue_mut().schedule(Time::from_millis(1), 100);
+        eng.run_to_completion();
+        let first = eng.model.seen.clone();
+
+        // Recycle the queue into a second engine; the run must be
+        // indistinguishable from the first.
+        let queue = eng.into_queue();
+        let mut eng2 = Engine::with_queue(Recorder { seen: vec![] }, queue);
+        assert_eq!(eng2.now(), Time::ZERO);
+        assert_eq!(eng2.processed(), 0);
+        eng2.queue_mut().schedule(Time::from_millis(1), 100);
+        eng2.run_to_completion();
+        assert_eq!(eng2.model.seen, first);
     }
 
     #[test]

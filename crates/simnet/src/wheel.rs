@@ -139,6 +139,47 @@ impl<E> EventQueue<E> {
         }
     }
 
+    /// Return the queue to its pristine t=0 state while keeping every
+    /// allocation: the node slab, slot-head table, overflow/ready/scratch
+    /// buffers all retain their capacity and only their contents are
+    /// dropped. This is the engine-reuse hook for sharded sweeps — a worker
+    /// that runs many short simulations back to back pays the slab's growth
+    /// once instead of once per shard.
+    ///
+    /// Diagnostics (`scheduled_total`, `cascaded_total`, `peak_len`) restart
+    /// from zero: after a reset the queue is indistinguishable from
+    /// [`EventQueue::new`] except for its capacity.
+    pub fn reset(&mut self) {
+        // Drop pending payloads and rebuild the free list over the whole
+        // slab; chaining every slot is O(capacity), the same order of work
+        // the drain that preceded a reset already did.
+        self.free = NIL;
+        for (i, n) in self.nodes.iter_mut().enumerate().rev() {
+            n.event = None;
+            n.next = self.free;
+            self.free = i as u32;
+        }
+        self.heads.iter_mut().for_each(|h| *h = NIL);
+        self.occ = [[0; WORDS]; LEVELS];
+        self.overflow.clear();
+        self.overflow_min_q = u64::MAX;
+        self.ready.clear();
+        self.scratch.clear();
+        self.cursor = 0;
+        self.ready_horizon = Time::ZERO;
+        self.popped_horizon = Time::ZERO;
+        self.len = 0;
+        self.next_seq = 0;
+        self.scheduled_total = 0;
+        self.cascaded_total = 0;
+        self.peak_len = 0;
+    }
+
+    /// Slots currently backing the node slab (diagnostic for reuse tests).
+    pub fn slab_capacity(&self) -> usize {
+        self.nodes.len()
+    }
+
     /// Schedule `event` to fire at absolute time `at`.
     ///
     /// `at` earlier than the time of the last popped event is a model bug:
@@ -747,6 +788,48 @@ mod tests {
         );
     }
 
+    /// After `reset`, the queue behaves exactly like a fresh one (same pop
+    /// order for the same schedule sequence) but keeps its slab capacity.
+    #[test]
+    fn reset_is_pristine_but_keeps_capacity() {
+        let mut q: EventQueue<u64> = EventQueue::new();
+        // Grow the slab across several levels, pop some, leave some pending.
+        for i in 0..64u64 {
+            q.schedule(Time::from_nanos(i * 77_777), i);
+        }
+        for _ in 0..20 {
+            q.pop();
+        }
+        let cap = q.slab_capacity();
+        assert!(cap > 0);
+
+        q.reset();
+        assert!(q.is_empty());
+        assert_eq!(q.len(), 0);
+        assert_eq!(q.scheduled_total(), 0);
+        assert_eq!(q.peak_len(), 0);
+        assert_eq!(q.slab_capacity(), cap, "reset must keep the slab");
+
+        // Replay a schedule sequence on the reset queue and on a fresh one;
+        // pops (and the seq-sensitive same-instant order) must match.
+        let mut fresh: EventQueue<u64> = EventQueue::new();
+        let t = Time::from_millis(3);
+        for i in 0..40u64 {
+            let at = if i % 3 == 0 { t } else { Time::from_nanos(i * 99_999) };
+            q.schedule(at, i);
+            fresh.schedule(at, i);
+        }
+        loop {
+            let a = q.pop();
+            let b = fresh.pop();
+            assert_eq!(a, b, "reset queue diverged from fresh queue");
+            if a.is_none() {
+                break;
+            }
+        }
+        assert_eq!(q.slab_capacity(), cap, "replay within capacity must not grow");
+    }
+
     /// A long chain of pops with re-schedules crossing every rotation
     /// boundary (the cascade path) stays sorted.
     #[test]
@@ -759,7 +842,7 @@ mod tests {
             [60_000u64, 16_800_000, 120_000, 4_300_000_000, 65_537, 1 << 34];
         let mut t = Time::ZERO;
         for (i, &s) in steps_ns.iter().cycle().take(500).enumerate() {
-            t = t + Duration::from_nanos(s);
+            t += Duration::from_nanos(s);
             q.schedule(t, i as u32);
             heap.schedule(t, i as u32);
         }

@@ -43,11 +43,25 @@ pub enum Counter {
     /// Cache entries rejected as corrupt/stale (digest re-check failed);
     /// always also counted as misses.
     MatrixCacheInvalid,
+    /// Simulation shards executed by sharded sweeps (one per shard engine).
+    ShardRuns,
+    /// Engine events processed across all shard runs (aggregate).
+    ShardEvents,
+    /// Wall-clock nanoseconds spent inside shard runs, summed over shards
+    /// (CPU-time, not sweep latency: shards on different workers overlap).
+    ShardWallNs,
+    /// Worst observed per-sweep shard load imbalance, in permille:
+    /// `max(events per shard) * 1000 / min(events per shard)`. 1000 means
+    /// perfectly balanced; updated with a running max across sweeps.
+    ShardEventsImbalancePermille,
+    /// Worst observed per-sweep shard wall-time imbalance, in permille
+    /// (same ratio over per-shard wall-ns); running max across sweeps.
+    ShardWallImbalancePermille,
 }
 
 impl Counter {
     /// Number of counters.
-    pub const COUNT: usize = 15;
+    pub const COUNT: usize = 20;
 
     /// Every counter, in stable report order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -66,6 +80,11 @@ impl Counter {
         Counter::MatrixCacheHits,
         Counter::MatrixCacheMisses,
         Counter::MatrixCacheInvalid,
+        Counter::ShardRuns,
+        Counter::ShardEvents,
+        Counter::ShardWallNs,
+        Counter::ShardEventsImbalancePermille,
+        Counter::ShardWallImbalancePermille,
     ];
 
     /// Stable snake_case name for reports and trace digests.
@@ -86,6 +105,11 @@ impl Counter {
             Counter::MatrixCacheHits => "matrix_cache_hits",
             Counter::MatrixCacheMisses => "matrix_cache_misses",
             Counter::MatrixCacheInvalid => "matrix_cache_invalid",
+            Counter::ShardRuns => "shard_runs",
+            Counter::ShardEvents => "shard_events",
+            Counter::ShardWallNs => "shard_wall_ns",
+            Counter::ShardEventsImbalancePermille => "shard_events_imbalance_permille",
+            Counter::ShardWallImbalancePermille => "shard_wall_imbalance_permille",
         }
     }
 }
@@ -109,9 +133,25 @@ impl Counters {
         self.vals[c as usize].fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Raise one counter to `v` if it is currently lower (running maximum —
+    /// the imbalance counters track the worst sweep seen, not a sum).
+    #[inline]
+    pub fn set_max(&self, c: Counter, v: u64) {
+        self.vals[c as usize].fetch_max(v, Ordering::Relaxed);
+    }
+
     /// Current value of one counter.
     pub fn get(&self, c: Counter) -> u64 {
         self.vals[c as usize].load(Ordering::Relaxed)
+    }
+
+    /// Zero every counter. Engine-reuse hook: a harness that recycles one
+    /// telemetry handle across runs (shard workers, repeated benches) can
+    /// restart per-run accounting without reallocating the bank.
+    pub fn reset(&self) {
+        for v in &self.vals {
+            v.store(0, Ordering::Relaxed);
+        }
     }
 
     /// Snapshot of all counters in [`Counter::ALL`] order.
@@ -131,6 +171,30 @@ mod tests {
         names.sort_unstable();
         names.dedup();
         assert_eq!(names.len(), Counter::COUNT);
+    }
+
+    #[test]
+    fn set_max_is_a_running_maximum() {
+        let c = Counters::default();
+        c.set_max(Counter::ShardEventsImbalancePermille, 1200);
+        c.set_max(Counter::ShardEventsImbalancePermille, 1000);
+        assert_eq!(c.get(Counter::ShardEventsImbalancePermille), 1200);
+        c.set_max(Counter::ShardEventsImbalancePermille, 2500);
+        assert_eq!(c.get(Counter::ShardEventsImbalancePermille), 2500);
+    }
+
+    #[test]
+    fn reset_zeroes_everything() {
+        let c = Counters::default();
+        c.add(Counter::ShardRuns, 8);
+        c.set_max(Counter::ShardWallImbalancePermille, 1700);
+        c.reset();
+        for &ctr in Counter::ALL.iter() {
+            assert_eq!(c.get(ctr), 0);
+        }
+        // The bank stays usable after a reset.
+        c.add(Counter::ShardRuns, 1);
+        assert_eq!(c.get(Counter::ShardRuns), 1);
     }
 
     #[test]

@@ -127,6 +127,25 @@ impl TelemetryHandle {
         }
     }
 
+    /// Raise a counter to `n` if it is currently lower (running maximum).
+    /// No-op when disabled. Used for high-water marks like the per-sweep
+    /// shard imbalance ratios, where the worst case matters, not the sum.
+    #[inline]
+    pub fn set_max(&self, c: Counter, n: u64) {
+        if let Some(inner) = &self.inner {
+            inner.counters.set_max(c, n);
+        }
+    }
+
+    /// Zero every counter, keeping the ring and its events intact. No-op
+    /// when disabled. Engine-reuse hook: lets a harness that recycles one
+    /// handle across runs restart per-run accounting.
+    pub fn reset_counters(&self) {
+        if let Some(inner) = &self.inner {
+            inner.counters.reset();
+        }
+    }
+
     /// Current value of a counter (0 when disabled).
     pub fn counter(&self, c: Counter) -> u64 {
         self.inner.as_ref().map_or(0, |i| i.counters.get(c))
@@ -181,6 +200,28 @@ mod tests {
         assert_eq!(h.events().len(), 1);
         assert_eq!(h2.events().len(), 1);
         assert_eq!(h.counter(Counter::Rtos), 1);
+    }
+
+    #[test]
+    fn set_max_and_reset_counters() {
+        let h = TelemetryHandle::with_capacity(16);
+        h.add(Counter::ShardEvents, 40);
+        h.set_max(Counter::ShardEventsImbalancePermille, 1500);
+        h.set_max(Counter::ShardEventsImbalancePermille, 1100);
+        assert_eq!(h.counter(Counter::ShardEventsImbalancePermille), 1500);
+
+        h.emit(1, EventKind::Rto { conn: 0, path: 0 });
+        h.reset_counters();
+        assert_eq!(h.counter(Counter::ShardEvents), 0);
+        assert_eq!(h.counter(Counter::ShardEventsImbalancePermille), 0);
+        // Counter reset leaves the event ring alone.
+        assert_eq!(h.events().len(), 1);
+
+        // Both are no-ops on a disabled handle.
+        let off = TelemetryHandle::off();
+        off.set_max(Counter::ShardEvents, 9);
+        off.reset_counters();
+        assert_eq!(off.counter(Counter::ShardEvents), 0);
     }
 
     #[test]

@@ -51,6 +51,10 @@ pub struct BenchResult {
     pub elements_per_iter: Option<u64>,
     /// Derived rate: `elements_per_iter / median`, per second.
     pub elements_per_sec: Option<f64>,
+    /// Worker threads the workload ran on, when declared via
+    /// [`BenchmarkGroup::workers`] (sharded sweeps record this so a tracked
+    /// number is comparable across machines and `TESTKIT_WORKERS` settings).
+    pub workers: Option<usize>,
     /// True when the run was a 1-iteration smoke pass (timings are noise).
     pub smoke: bool,
 }
@@ -120,6 +124,9 @@ pub fn write_json_results(path: &str) -> std::io::Result<()> {
                 ", \"elements_per_iter\": {n}, \"elements_per_sec\": {rate:.1}"
             ));
         }
+        if let Some(w) = r.workers {
+            out.push_str(&format!(", \"workers\": {w}"));
+        }
         out.push('}');
     }
     out.push_str("\n  ]\n}\n");
@@ -168,13 +175,14 @@ impl Criterion {
             name: name.to_string(),
             sample_size: self.sample_size,
             throughput: None,
+            workers: None,
             _parent: self,
         }
     }
 
     /// Run one stand-alone benchmark.
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
-        run_benchmark(name, self.sample_size, None, f);
+        run_benchmark(name, self.sample_size, None, None, f);
         self
     }
 }
@@ -184,6 +192,7 @@ pub struct BenchmarkGroup<'a> {
     name: String,
     sample_size: usize,
     throughput: Option<Throughput>,
+    workers: Option<usize>,
     _parent: &'a mut Criterion,
 }
 
@@ -201,13 +210,26 @@ impl BenchmarkGroup<'_> {
         self
     }
 
+    /// Record the worker-thread count of subsequent benchmarks in this
+    /// group (emitted alongside the timings in the JSON results).
+    pub fn workers(&mut self, w: usize) -> &mut Self {
+        self.workers = Some(w);
+        self
+    }
+
     /// Run one benchmark within the group.
     pub fn bench_function<S: std::fmt::Display, F: FnMut(&mut Bencher)>(
         &mut self,
         id: S,
         f: F,
     ) -> &mut Self {
-        run_benchmark(&format!("{}/{}", self.name, id), self.sample_size, self.throughput, f);
+        run_benchmark(
+            &format!("{}/{}", self.name, id),
+            self.sample_size,
+            self.throughput,
+            self.workers,
+            f,
+        );
         self
     }
 
@@ -252,6 +274,7 @@ fn run_benchmark<F: FnMut(&mut Bencher)>(
     name: &str,
     sample_size: usize,
     throughput: Option<Throughput>,
+    workers: Option<usize>,
     mut f: F,
 ) {
     if smoke_mode() {
@@ -263,7 +286,7 @@ fn run_benchmark<F: FnMut(&mut Bencher)>(
         };
         f(&mut b);
         let median = b.sample_ns.first().copied().unwrap_or(0.0);
-        record_result(make_result(name, median, median, 1, 1, throughput, true));
+        record_result(make_result(name, median, median, 1, 1, throughput, workers, true));
         println!("bench {name}: ok (smoke, 1 iteration)");
         return;
     }
@@ -292,8 +315,16 @@ fn run_benchmark<F: FnMut(&mut Bencher)>(
     b.sample_ns.sort_by(|a, x| a.partial_cmp(x).expect("finite timings"));
     let median = percentile(&b.sample_ns, 0.50);
     let p95 = percentile(&b.sample_ns, 0.95);
-    let result =
-        make_result(name, median, p95, b.sample_ns.len(), b.iters_per_sample, throughput, false);
+    let result = make_result(
+        name,
+        median,
+        p95,
+        b.sample_ns.len(),
+        b.iters_per_sample,
+        throughput,
+        workers,
+        false,
+    );
     let rate = match result.elements_per_sec {
         Some(r) => format!(", {r:.3e} elem/s"),
         None => String::new(),
@@ -308,6 +339,7 @@ fn run_benchmark<F: FnMut(&mut Bencher)>(
     );
 }
 
+#[allow(clippy::too_many_arguments)]
 fn make_result(
     name: &str,
     median_ns: f64,
@@ -315,6 +347,7 @@ fn make_result(
     samples: usize,
     iters_per_sample: u64,
     throughput: Option<Throughput>,
+    workers: Option<usize>,
     smoke: bool,
 ) -> BenchResult {
     let elements_per_iter = throughput.map(|Throughput::Elements(n)| n);
@@ -328,6 +361,7 @@ fn make_result(
         iters_per_sample,
         elements_per_iter,
         elements_per_sec,
+        workers,
         smoke,
     }
 }

@@ -57,7 +57,7 @@ impl PageModel {
 }
 
 /// Per-object download record.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ObjectRecord {
     /// Index in the page's object list.
     pub index: usize,
@@ -82,6 +82,11 @@ impl ObjectRecord {
 pub struct BrowserApp {
     page: PageModel,
     n_conns: usize,
+    /// First connection id this browser owns: it issues on connections
+    /// `conn_base..conn_base + n_conns`. Zero for a standalone browser; a
+    /// population harness gives each unit's browser its own id range so
+    /// many browsers can share one testbed.
+    conn_base: usize,
     next_object: usize,
     /// In-flight request → object index.
     pending: Vec<(ReqId, usize, Time)>,
@@ -94,10 +99,17 @@ pub struct BrowserApp {
 impl BrowserApp {
     /// Fetch `page` over connections `0..n_conns`.
     pub fn new(page: PageModel, n_conns: usize) -> Self {
+        Self::with_conn_base(page, n_conns, 0)
+    }
+
+    /// Fetch `page` over connections `conn_base..conn_base + n_conns` —
+    /// the composition constructor for multi-unit populations.
+    pub fn with_conn_base(page: PageModel, n_conns: usize, conn_base: usize) -> Self {
         assert!(n_conns >= 1);
         BrowserApp {
             page,
             n_conns,
+            conn_base,
             next_object: 0,
             pending: Vec::new(),
             objects: Vec::new(),
@@ -129,7 +141,7 @@ impl BrowserApp {
 
 impl Application for BrowserApp {
     fn on_start(&mut self, now: Time, api: &mut Api<'_>) {
-        for conn in 0..self.n_conns {
+        for conn in self.conn_base..self.conn_base + self.n_conns {
             self.issue_next(now, conn, api);
         }
     }
@@ -196,6 +208,7 @@ mod tests {
             paths: vec![PathConfig::wifi(wifi), PathConfig::lte(lte)],
             conns,
             seed,
+            path_seeds: None,
             recorder: RecorderConfig::default(),
             scenario: Scenario::default(),
             telemetry: Default::default(),

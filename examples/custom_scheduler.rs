@@ -67,6 +67,7 @@ fn run(spec: ConnSpec, label: &str) {
         paths: vec![PathConfig::wifi(0.3), PathConfig::lte(8.6)],
         conns: vec![spec],
         seed: 5,
+        path_seeds: None,
         recorder: RecorderConfig::default(),
         scenario: Scenario::default(),
         telemetry: tel.clone(),

@@ -27,6 +27,7 @@ fn main() {
             paths: vec![PathConfig::wifi(1.0), PathConfig::lte(10.0)],
             conns,
             seed: 7,
+            path_seeds: None,
             recorder: RecorderConfig::default(),
             scenario: Scenario::default(),
             telemetry: TelemetryHandle::off(),

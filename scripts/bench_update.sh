@@ -28,14 +28,25 @@ run_b="$(mktemp /tmp/bench-update-b.XXXXXX.json)"
 run_c="$(mktemp /tmp/bench-update-c.XXXXXX.json)"
 trap 'rm -f "$run_a" "$run_b" "$run_c"' EXIT
 
+run_d="$(mktemp /tmp/bench-update-d.XXXXXX.json)"
+trap 'rm -f "$run_a" "$run_b" "$run_c" "$run_d"' EXIT
+
 echo "== three full sim_throughput runs (this takes a few minutes) =="
 for run_json in "$run_a" "$run_b" "$run_c"; do
     TESTKIT_BENCH_JSON="$run_json" \
         cargo bench --offline -p ecf-bench --bench sim_throughput
 done
 
+# The sharded sweep bench is informational (not perf-gated) and its
+# monolith baseline costs minutes per iteration, so one full run suffices.
+# Its results carry a "workers" key recording what the rates were measured
+# on — a sharded number is only comparable at the same worker count.
+echo "== one full sharded sweep run (monolith baseline is slow) =="
+TESTKIT_BENCH_JSON="$run_d" \
+    cargo bench --offline -p ecf-bench --bench sharded
+
 echo "== canonicalizing median-of-three into BENCH.json =="
-python3 - BENCH.json "$run_a" "$run_b" "$run_c" <<'PY'
+python3 - BENCH.json "$run_a" "$run_b" "$run_c" "$run_d" <<'PY'
 import json, sys
 
 dst = sys.argv[1]
@@ -49,7 +60,8 @@ for src in sys.argv[2:]:
     for r in doc["results"]:
         by_name.setdefault(r["name"], []).append(r)
 
-# Per benchmark, keep the run whose throughput is the median of the three.
+# Per benchmark, keep the run whose throughput is the median of the runs
+# that measured it (three for sim_throughput, one for the sharded sweep).
 median = {}
 for name, runs in by_name.items():
     runs.sort(key=lambda r: r.get("elements_per_sec", 0))
@@ -57,12 +69,14 @@ for name, runs in by_name.items():
 
 KEYS = ("name", "median_ns", "p95_ns", "samples", "iters_per_sample",
         "elements_per_iter", "elements_per_sec")
+OPTIONAL = ("workers",)
 
 def canon(r):
     missing = [k for k in KEYS if k not in r]
     if missing:
         sys.exit(f"bench_update.sh: result {r.get('name')!r} lacks {missing}")
-    return "    {" + ", ".join(f'"{k}": {json.dumps(r[k])}' for k in KEYS) + "}"
+    keys = KEYS + tuple(k for k in OPTIONAL if k in r)
+    return "    {" + ", ".join(f'"{k}": {json.dumps(r[k])}' for k in keys) + "}"
 
 lines = [canon(median[name]) for name in sorted(median)]
 body = '{\n  "schema": 1,\n  "smoke": false,\n  "results": [\n'

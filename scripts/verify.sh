@@ -53,6 +53,7 @@ for want in (
     "sim_throughput/streaming_0.3_8.6_scenario",
     "sim_throughput/browse_6conn",
     "sim_throughput/browse_24conn",
+    "sim_throughput/browse_1k",
 ):
     if want not in names:
         sys.exit(f"verify.sh: {label}: missing benchmark {want}")

@@ -10,6 +10,8 @@ const TRACKED: &[&str] = &[
     "sim_throughput/streaming_0.3_8.6",
     "sim_throughput/streaming_0.3_8.6_scenario",
     "sim_throughput/browse_6conn",
+    "sim_throughput/browse_1k",
+    "sharded/browse_10k",
 ];
 
 #[test]

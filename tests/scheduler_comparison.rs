@@ -105,6 +105,7 @@ fn web_page_load_improves_with_ecf_under_heterogeneity() {
             paths: vec![PathConfig::wifi(1.0), PathConfig::lte(10.0)],
             conns,
             seed: 7,
+            path_seeds: None,
             recorder: RecorderConfig::default(),
             scenario: Scenario::default(),
             telemetry: TelemetryHandle::off(),
@@ -157,6 +158,7 @@ fn four_subflows_keep_the_ecf_advantage() {
             paths,
             conns: vec![ConnSpec::new(kind, vec![0, 1, 2, 3])],
             seed: 4,
+            path_seeds: None,
             recorder: RecorderConfig::default(),
             scenario: Scenario::default(),
             telemetry: TelemetryHandle::off(),
