@@ -16,6 +16,7 @@ fn snapshots() -> Vec<PathSnapshot> {
             inflight: 24,
             in_slow_start: false,
             usable: true,
+            queue_bytes: 0,
         },
         PathSnapshot {
             id: PathId(1),
@@ -25,6 +26,7 @@ fn snapshots() -> Vec<PathSnapshot> {
             inflight: 131,
             in_slow_start: false,
             usable: true,
+            queue_bytes: 0,
         },
     ]
 }

@@ -33,6 +33,11 @@ pub struct PathSnapshot {
     pub in_slow_start: bool,
     /// False when the path must not be used (not established, dead, ...).
     pub usable: bool,
+    /// Bytes sitting in the path's bottleneck (droptail) queue, as sampled
+    /// by the transport just before scheduling. A cross-layer signal no
+    /// in-paper scheduler reads — exposed for QAware-style device-queue
+    /// scheduling; 0 when the transport has no such visibility.
+    pub queue_bytes: u64,
 }
 
 impl PathSnapshot {
@@ -135,6 +140,7 @@ pub(crate) mod testutil {
             inflight,
             in_slow_start: false,
             usable: true,
+            queue_bytes: 0,
         }
     }
 }

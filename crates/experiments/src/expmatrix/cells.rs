@@ -33,8 +33,67 @@ use crate::dynamics::handover_scenario;
 pub fn execute(cfg: &Value) -> Result<Value, String> {
     match str_field(cfg, "workload")? {
         "streaming" => streaming_cell(cfg),
+        "quic_web" => quic_web_cell(cfg),
         other => Err(format!("unknown workload {other:?}")),
     }
+}
+
+/// One `quic_web` cell: the cnn-like page on *both* transports (one MPQUIC
+/// connection with 107 streams vs six MPTCP connections) for one
+/// scheduler/bandwidth/seed point, so every cached result is already a
+/// paired comparison.
+fn quic_web_cell(cfg: &Value) -> Result<Value, String> {
+    let wifi = num_field(cfg, "wifi_mbps")?;
+    let lte = num_field(cfg, "lte_mbps")?;
+    let seed = num_field(cfg, "seed")? as u64;
+    let scheduler = parse_scheduler(str_field(cfg, "scheduler")?)?;
+
+    let mut scalars = BTreeMap::new();
+    {
+        let tb = crate::common::run_browse(wifi, lte, scheduler, seed);
+        if !tb.app().done() {
+            return Err("mptcp page load did not complete".to_string());
+        }
+        let cdf = metrics::Cdf::from_samples(tb.app().completion_times_secs());
+        let ooo = metrics::Cdf::from_samples(tb.world().recorder.ooo_delays_secs());
+        let plt = tb.app().page_load_time.expect("page done").as_secs_f64();
+        scalars.insert("mptcp_obj_mean_s".to_string(), Value::Number(cdf.mean()));
+        scalars.insert("mptcp_obj_p99_s".to_string(), Value::Number(cdf.quantile(0.99)));
+        scalars.insert("mptcp_plt_s".to_string(), Value::Number(plt));
+        scalars.insert("mptcp_ooo_p99_s".to_string(), Value::Number(ooo.quantile(0.99)));
+        scalars.insert(
+            "mptcp_events".to_string(),
+            Value::Number(tb.events_processed() as f64),
+        );
+    }
+    {
+        let tb = crate::quicweb::run_quic_web(wifi, lte, scheduler, seed);
+        if !tb.app().done() {
+            return Err("quic page load did not complete".to_string());
+        }
+        let completions: Vec<f64> = tb
+            .world()
+            .recorder
+            .completed_requests()
+            .map(|r| r.completion_time().expect("completed").as_secs_f64())
+            .collect();
+        let cdf = metrics::Cdf::from_samples(completions);
+        let ooo = metrics::Cdf::from_samples(tb.world().recorder.ooo_delays_secs());
+        let plt = tb.app().page_load_time.expect("page done").as_secs_f64();
+        scalars.insert("quic_obj_mean_s".to_string(), Value::Number(cdf.mean()));
+        scalars.insert("quic_obj_p99_s".to_string(), Value::Number(cdf.quantile(0.99)));
+        scalars.insert("quic_plt_s".to_string(), Value::Number(plt));
+        scalars.insert("quic_ooo_p99_s".to_string(), Value::Number(ooo.quantile(0.99)));
+        scalars.insert(
+            "quic_events".to_string(),
+            Value::Number(tb.events_processed() as f64),
+        );
+    }
+
+    let mut result = BTreeMap::new();
+    result.insert("scalars".to_string(), Value::Object(scalars));
+    result.insert("series".to_string(), Value::Object(BTreeMap::new()));
+    Ok(Value::Object(result))
 }
 
 fn streaming_cell(cfg: &Value) -> Result<Value, String> {

@@ -29,6 +29,7 @@ pub fn render(spec: &Spec, exp: &Expansion, results: &[Value]) -> Result<String,
         "fig17" => fig17(exp, results),
         "dyn_handover" => dyn_handover(exp, results),
         "dyn_burstloss" => dyn_burstloss(exp, results),
+        "quic_web" => quic_web(exp, results),
         "generic" => generic(spec, exp, results),
         other => Err(format!("unknown figure renderer {other:?}")),
     }
@@ -248,6 +249,63 @@ fn dyn_burstloss(exp: &Expansion, results: &[Value]) -> Result<String, String> {
             Ok(format!("{burst:.0}"))
         })?,
     ));
+    Ok(s)
+}
+
+/// quic_web: bandwidth-config × scheduler grid; every cell already carries
+/// both transports, so each grid point renders as a paired row.
+fn quic_web(exp: &Expansion, results: &[Value]) -> Result<String, String> {
+    let block = sole_block(exp, "quic_web", 2)?;
+    let (n_cfg, n_k, per_cell) = (block.axis_lens[0], block.axis_lens[1], block.seeds);
+    let mut s = String::from(
+        "quic_web: 107-object page, 1 MPQUIC connection (107 streams) vs\n\
+         6 MPTCP connections, same packet scheduler on both transports\n\
+         (page-load time and per-object p99 in seconds; OOO p99 is the\n\
+          reordering tail — per-stream reassembly should shrink it)\n",
+    );
+    for ci in 0..n_cfg {
+        let first = block.start + ci * n_k * per_cell;
+        let wifi = config_num(exp, first, &["wifi_mbps"])?;
+        let lte = config_num(exp, first, &["lte_mbps"])?;
+        s.push_str(&format!("\n--- {wifi:.1} Mbps WiFi / {lte:.1} Mbps LTE ---\n"));
+        let mut rows = Vec::new();
+        for ki in 0..n_k {
+            let base = block.start + (ci * n_k + ki) * per_cell;
+            let sched = exp.cells[base]
+                .config
+                .get("scheduler")
+                .and_then(Value::as_str)
+                .unwrap_or("-")
+                .to_string();
+            let mean_of = |key: &str| -> Result<f64, String> {
+                let vals: Vec<f64> = (0..per_cell)
+                    .map(|si| scalar(results, base + si, key))
+                    .collect::<Result<_, _>>()?;
+                Ok(metrics::mean(&vals))
+            };
+            rows.push(vec![
+                sched,
+                format!("{:.3}", mean_of("mptcp_plt_s")?),
+                format!("{:.3}", mean_of("quic_plt_s")?),
+                format!("{:.3}", mean_of("mptcp_obj_p99_s")?),
+                format!("{:.3}", mean_of("quic_obj_p99_s")?),
+                format!("{:.4}", mean_of("mptcp_ooo_p99_s")?),
+                format!("{:.4}", mean_of("quic_ooo_p99_s")?),
+            ]);
+        }
+        s.push_str(&render_table(
+            &[
+                "scheduler",
+                "mptcp_plt_s",
+                "quic_plt_s",
+                "mptcp_p99_s",
+                "quic_p99_s",
+                "mptcp_ooo_p99",
+                "quic_ooo_p99",
+            ],
+            &rows,
+        ));
+    }
     Ok(s)
 }
 

@@ -27,6 +27,7 @@ pub mod common;
 pub mod downloads;
 pub mod dynamics;
 pub mod expmatrix;
+pub mod quicweb;
 pub mod sharding;
 pub mod streaming;
 pub mod trace;
@@ -39,6 +40,7 @@ pub use common::{
     StreamingConfig, StreamingOutcome, BW_SET, MAX_WORKERS, VARIABLE_BW_SET,
 };
 pub use expmatrix::{run_matrix, MatrixOptions, MatrixOutcome};
+pub use quicweb::{quic_web, run_quic_web, OpenAllApp, QUIC_WEB_SCHEDULERS};
 pub use sharding::{
     browse_10k, browse_1k, browse_population, partition, plan_shards, run_balanced, run_sweep,
     PopConn, PopUnit, Population, SweepOptions, SweepReport, UnitReport,
@@ -89,6 +91,7 @@ pub fn registry() -> Vec<Experiment> {
         Experiment { id: "extension_sttf", title: "Extension: STTF vs ECF", run: ablations::extension_sttf },
         Experiment { id: "dyn_handover", title: "Dynamics: periodic LTE blackout ladder", run: dynamics::dyn_handover },
         Experiment { id: "dyn_burstloss", title: "Dynamics: bursty LTE loss sweep", run: dynamics::dyn_burstloss },
+        Experiment { id: "quic_web", title: "QUIC: 107-stream MPQUIC page load vs 6-connection MPTCP", run: quicweb::quic_web },
     ]
 }
 
@@ -108,7 +111,7 @@ mod tests {
             "tab1", "tab2", "tab3", "tab4", "fig1", "fig2", "fig3", "fig5", "fig6", "fig7",
             "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17",
             "fig18", "fig19", "fig20", "fig21", "fig22", "fig23", "dyn_handover",
-            "dyn_burstloss",
+            "dyn_burstloss", "quic_web",
         ] {
             assert!(ids.contains(&required), "missing {required}");
         }

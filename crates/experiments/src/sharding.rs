@@ -19,8 +19,9 @@
 //!    and a component is never split across shards.
 //! 2. **Seed derivation** is keyed by *global* path index: shard testbeds
 //!    receive explicit [`TestbedConfig::path_seeds`] equal to the seeds the
-//!    monolith derives (`seed + global_index * 7919`), so link jitter/loss
-//!    streams are identical regardless of where a path lands.
+//!    monolith derives ([`simnet::path_seed`], the one canonical helper),
+//!    so link jitter/loss streams are identical regardless of where a path
+//!    lands.
 //! 3. **Extraction is per-unit**: request streams are filtered per
 //!    connection and OOO pools kept per connection
 //!    ([`mptcp::RecorderConfig::ooo_per_conn`]), so merged observables are
@@ -404,7 +405,7 @@ fn run_shard(
 
     // Seeds keyed by GLOBAL index — the monolith's derivation, verbatim.
     let path_seeds: Vec<u64> =
-        globals.iter().map(|&g| pop.seed.wrapping_add(g as u64 * 7919)).collect();
+        globals.iter().map(|&g| simnet::path_seed(pop.seed, g)).collect();
     let paths: Vec<PathConfig> = globals.iter().map(|&g| pop.paths[g].clone()).collect();
 
     let mut conns: Vec<ConnSpec> = Vec::new();

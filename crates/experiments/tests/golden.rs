@@ -131,3 +131,16 @@ fn browse_seed_1_is_bit_identical() {
     println!("browse seed 1 digest: {d:#018x}");
     assert_eq!(d, golden("browse_seed_1"));
 }
+
+/// The scheduler seam extracted into `mptcp::transport` (`SchedDriver`,
+/// the transport traits, and the cross-layer queue-depth sample) must be
+/// value-neutral for MPTCP: all four contract digests, re-asserted in one
+/// place so drift in the seam fails atomically with a name that says what
+/// moved. `mptcp::transport`'s module docs point here.
+#[test]
+fn transport_refactor_guard() {
+    assert_eq!(streaming_digest(1), golden("streaming_seed_1"));
+    assert_eq!(streaming_digest(2), golden("streaming_seed_2"));
+    assert_eq!(streaming_digest(2014), golden("streaming_seed_2014"));
+    assert_eq!(browse_digest(1), golden("browse_seed_1"));
+}

@@ -5,14 +5,15 @@
 
 use std::collections::VecDeque;
 
-use ecf_core::{Decision, PathSnapshot, SchedInput, Scheduler, Why};
+use ecf_core::{Decision, PathSnapshot, Scheduler};
 use simnet::Time;
 use tcp_model::TcpConfig;
-use telemetry::{Counter, EventKind, PathObs, SchedDecision, TelemetryHandle, MAX_PATHS};
+use telemetry::{Counter, EventKind, TelemetryHandle};
 
 use crate::cc::{ca_increase, CcKind, CcView};
 use crate::segment::{AckInfo, ReqId, Segment, SubId};
 use crate::subflow::Subflow;
+use crate::transport::SchedDriver;
 
 /// Connection-level configuration. Defaults model the paper's testbed hosts:
 /// a ~4 MB autotuned server send buffer and a ~2 MB client receive window —
@@ -76,8 +77,9 @@ pub struct Transmission {
 pub struct Connection {
     /// Configuration (immutable after construction).
     pub cfg: ConnConfig,
-    /// The pluggable packet scheduler under evaluation.
-    pub scheduler: Box<dyn Scheduler>,
+    /// Scheduler invocation + decision telemetry, the transport seam shared
+    /// with the quic transport (see [`crate::transport`]).
+    pub driver: SchedDriver,
     /// The subflows, index == `SubId` == `ecf_core::PathId.0`.
     pub subflows: Vec<Subflow>,
     /// Next data sequence number to assign to a subflow.
@@ -99,19 +101,13 @@ pub struct Connection {
     /// testbed as deliveries complete.
     pub response_bounds: VecDeque<(ReqId, u64)>,
     stats: ConnStats,
-    /// Scratch for per-select scheduler snapshots (avoids an allocation per
-    /// scheduled packet).
-    snap_buf: Vec<PathSnapshot>,
     /// Scratch for coupled-CC views (avoids an allocation per CA ACK).
     cc_views: Vec<CcView>,
-    /// Telemetry sink (off by default; see [`Connection::set_telemetry`]).
+    /// Telemetry sink for lifecycle events (off by default; see
+    /// [`Connection::set_telemetry`]). Decision events ride `driver`.
     tel: TelemetryHandle,
-    /// This connection's index in decision/lifecycle events.
+    /// This connection's index in lifecycle events.
     tel_conn: u32,
-    /// Decision/wait counts not yet flushed to the telemetry counters:
-    /// plain adds on the hot path, one atomic add per counter at drop time
-    /// (see the `Drop` impl).
-    tel_pending: (u64, u64),
 }
 
 impl Connection {
@@ -133,7 +129,7 @@ impl Connection {
             .collect();
         Connection {
             cfg,
-            scheduler,
+            driver: SchedDriver::new(scheduler, subflow_paths.len()),
             subflows,
             next_dsn: 0,
             buffered_end: 0,
@@ -144,11 +140,9 @@ impl Connection {
             last_reinject: None,
             response_bounds: VecDeque::new(),
             stats: ConnStats::default(),
-            snap_buf: Vec::with_capacity(subflow_paths.len()),
             cc_views: Vec::with_capacity(subflow_paths.len()),
             tel: TelemetryHandle::off(),
             tel_conn: 0,
-            tel_pending: (0, 0),
         }
     }
 
@@ -159,6 +153,7 @@ impl Connection {
     /// (idle window resets, fast retransmits, penalizations) are recorded
     /// too. With the default (off) handle the hot path is unchanged.
     pub fn set_telemetry(&mut self, tel: TelemetryHandle, conn: u32) {
+        self.driver.set_telemetry(tel.clone(), conn);
         self.tel = tel;
         self.tel_conn = conn;
     }
@@ -234,6 +229,7 @@ impl Connection {
                 inflight: sf.inflight_count(),
                 in_slow_start: sf.cc.in_slow_start(),
                 usable: sf.usable,
+                queue_bytes: sf.link_queue_bytes,
             })
             .collect()
     }
@@ -350,46 +346,6 @@ impl Connection {
         queued
     }
 
-    /// Record one scheduler verdict with its full inputs (from `snap_buf`)
-    /// and provenance. Only called when the sink is enabled, and hot when it
-    /// is — one event per decision — so it stays inline-friendly and sticks
-    /// to u64 arithmetic (no `Duration::as_micros` u128 division). Counter
-    /// bumps are batched by the caller.
-    fn emit_decision(&self, now: Time, decision: Decision, why: Why, k: u64, swnd_free: u64) {
-        self.tel.emit_with(|| {
-            let micros = |d: std::time::Duration| {
-                u32::try_from(d.as_secs() * 1_000_000 + u64::from(d.subsec_micros()))
-                    .unwrap_or(u32::MAX)
-            };
-            let sat32 = |v: u64| u32::try_from(v).unwrap_or(u32::MAX);
-            let mut paths = [PathObs::default(); MAX_PATHS];
-            let n = self.snap_buf.len().min(MAX_PATHS);
-            for (obs, s) in paths.iter_mut().zip(self.snap_buf.iter()) {
-                *obs = PathObs {
-                    path: s.id.0 as u16,
-                    usable: s.usable,
-                    srtt_us: micros(s.srtt),
-                    rttvar_us: micros(s.rtt_dev),
-                    cwnd: s.cwnd,
-                    inflight: s.inflight,
-                };
-            }
-            telemetry::Event {
-                t_ns: now.as_nanos(),
-                kind: EventKind::SchedDecision(SchedDecision {
-                    conn: self.tel_conn,
-                    scheduler: self.scheduler.name(),
-                    decision,
-                    why,
-                    queued_pkts: sat32(k),
-                    send_window_free_pkts: sat32(swnd_free),
-                    n_paths: n as u8,
-                    paths,
-                }),
-            }
-        });
-    }
-
     /// Drive the scheduler until it stops producing transmissions. Returns
     /// the segments to put on the wire, in order.
     ///
@@ -418,13 +374,13 @@ impl Connection {
             }
         }
         let mut blocked_noted = false;
-        // Tracks whether `snap_buf` still mirrors the subflows exactly. The
-        // inner loop updates the chosen path's in-flight count in place, so
-        // after a pass that only scheduled new data the buffer is already
-        // identical to what a rebuild would produce; only reinjection sends
-        // and penalization (cwnd change in `on_rwnd_blocked`) invalidate it.
+        // Tracks whether the driver's `snap_buf` still mirrors the subflows
+        // exactly. The inner loop updates the chosen path's in-flight count
+        // in place, so after a pass that only scheduled new data the buffer
+        // is already identical to what a rebuild would produce; only
+        // reinjection sends and penalization (cwnd change in
+        // `on_rwnd_blocked`) invalidate it.
         let mut snap_valid = false;
-        let (mut tel_decisions, mut tel_waits) = (0u64, 0u64);
         loop {
             let before = plan.len();
             let mut reinjection_created = false;
@@ -453,8 +409,8 @@ impl Connection {
             // (penalization, idle reset, reinjection) happens outside this
             // loop, and the outer retry pass rebuilds the snapshot.
             if self.unassigned_segs() > 0 && !snap_valid {
-                self.snap_buf.clear();
-                self.snap_buf.extend(self.subflows.iter().enumerate().map(|(i, sf)| {
+                self.driver.snap_buf.clear();
+                self.driver.snap_buf.extend(self.subflows.iter().enumerate().map(|(i, sf)| {
                     PathSnapshot {
                         id: ecf_core::PathId(i),
                         srtt: sf.cc.rtt.srtt(),
@@ -463,6 +419,7 @@ impl Connection {
                         inflight: sf.inflight_count(),
                         in_slow_start: sf.cc.in_slow_start(),
                         usable: sf.usable,
+                        queue_bytes: sf.link_queue_bytes,
                     }
                 }));
                 snap_valid = true;
@@ -479,36 +436,20 @@ impl Connection {
                     if !blocked_noted {
                         blocked_noted = true;
                         self.stats.window_blocked += 1;
-                        self.scheduler.on_window_blocked();
+                        self.driver.on_window_blocked();
                     }
                     reinjection_created |= self.on_rwnd_blocked(now);
                     // Penalization may have shrunk a cwnd under us.
                     snap_valid = false;
                     break;
                 }
-                let input = SchedInput {
-                    paths: &self.snap_buf,
-                    queued_pkts: k,
-                    send_window_free_pkts: self.rwnd_adv - outstanding,
-                };
-                // The off-handle check is one predictable branch; only an
-                // enabled sink pays for provenance and event construction.
-                let decision = if self.tel.is_enabled() {
-                    let (d, why) = self.scheduler.select_explained(&input);
-                    self.emit_decision(now, d, why, k, self.rwnd_adv - outstanding);
-                    tel_decisions += 1;
-                    tel_waits += u64::from(d == Decision::Wait);
-                    d
-                } else {
-                    self.scheduler.select(&input)
-                };
-                match decision {
+                match self.driver.decide(now, k, self.rwnd_adv - outstanding) {
                     Decision::Send(pid) => {
                         let sub = pid.0;
                         debug_assert!(sub < self.subflows.len(), "scheduler chose unknown path");
                         let seg = self.subflows[sub].register_send(now, self.next_dsn, false);
                         self.next_dsn += 1;
-                        self.snap_buf[sub].inflight += 1;
+                        self.driver.snap_buf[sub].inflight += 1;
                         plan.push(Transmission { sub, seg });
                     }
                     Decision::Wait => {
@@ -523,34 +464,10 @@ impl Connection {
                 break;
             }
         }
-        // Counter bumps accumulate in plain fields and flush as one atomic
-        // add per counter when the connection is dropped — the decision loop
-        // runs for every send opportunity and must not pay lock-prefixed
-        // RMWs per call.
-        if tel_decisions > 0 {
-            self.tel_pending.0 += tel_decisions;
-            self.tel_pending.1 += tel_waits;
-        }
         // RFC 2861 congestion-window validation on every subflow now that
         // this send opportunity has played out.
         for sf in &mut self.subflows {
             sf.cc.validate_app_limited(now, sf.inflight_count());
-        }
-    }
-}
-
-/// Flush the batched decision counters. Counter snapshots taken while a
-/// traced connection is still alive can lag by the unflushed tail; every
-/// in-tree consumer reads counters after the run (and its testbed) has been
-/// dropped.
-impl Drop for Connection {
-    fn drop(&mut self) {
-        let (decisions, waits) = self.tel_pending;
-        if decisions > 0 {
-            self.tel.add(Counter::Decisions, decisions);
-        }
-        if waits > 0 {
-            self.tel.add(Counter::WaitDecisions, waits);
         }
     }
 }

@@ -46,6 +46,7 @@ mod segment;
 mod sim;
 mod subflow;
 mod trace;
+pub mod transport;
 
 pub use cc::{ca_increase, CcKind, CcView};
 pub use connection::{ConnConfig, ConnStats, Connection, Transmission};
@@ -54,3 +55,4 @@ pub use segment::{segs_for_bytes, AckInfo, ConnId, InflightSeg, ReqId, Segment, 
 pub use sim::{Api, Application, ConnSpec, Event, Sim, Testbed, TestbedConfig, World};
 pub use subflow::{AckOutcome, Subflow, SubflowStats};
 pub use trace::{Recorder, RecorderConfig, RequestRecord};
+pub use transport::{GenericApp, SchedDriver, TransportApi, TransportApp};

@@ -157,7 +157,7 @@ pub struct TestbedConfig {
     /// Seed for link jitter/loss.
     pub seed: u64,
     /// Explicit per-path RNG seeds overriding the derivation from `seed`.
-    /// By default path `i` seeds with `seed + i*7919`; a sharded sweep
+    /// By default path `i` seeds with [`simnet::path_seed`]; a sharded sweep
     /// passes the seeds the paths would have received at their *global*
     /// indices in the monolithic run, which is what makes a shard's link
     /// behavior bit-identical to the monolith's. Length must match `paths`
@@ -270,7 +270,7 @@ impl World {
             .map(|(i, pc)| {
                 let seed = match &cfg.path_seeds {
                     Some(seeds) => seeds[i],
-                    None => cfg.seed.wrapping_add(i as u64 * 7919),
+                    None => simnet::path_seed(cfg.seed, i),
                 };
                 let mut p = Path::new(pc, seed);
                 p.attach_telemetry(&cfg.telemetry, i as u16);
@@ -451,6 +451,20 @@ impl World {
     /// Run a send opportunity on `conn` and put the resulting segments on
     /// the wire, reusing the scratch plan buffer.
     fn pump_send(&mut self, now: Time, conn: ConnId, q: &mut EventQueue<Event>) {
+        // Cross-layer sample: expose each subflow path's droptail backlog to
+        // the scheduler snapshot. `Link::queued_bytes` expires the queue at
+        // `now` first — a mutation the next enqueue/expiry at a later time
+        // would perform anyway, so sampling here cannot change link behavior
+        // (the golden digests pin this).
+        for si in 0..self.conns[conn].sender.subflows.len() {
+            let path_idx = self.conns[conn].sender.subflows[si].path;
+            let qb = if self.path_up[path_idx] {
+                self.paths[path_idx].fwd.queued_bytes(now)
+            } else {
+                0
+            };
+            self.conns[conn].sender.subflows[si].link_queue_bytes = qb;
+        }
         let mut plan = std::mem::take(&mut self.plan_buf);
         plan.clear();
         self.conns[conn].sender.try_send_into(now, &mut plan);

@@ -1,0 +1,273 @@
+//! The transport-facing seam between a multipath transport and the
+//! scheduler machinery.
+//!
+//! Two transports consume the `ecf-core` schedulers: the MPTCP model in this
+//! crate ([`crate::Connection`]) and the multipath-QUIC model in the `quic`
+//! crate. Everything scheduler-adjacent that is *not* transport-specific
+//! lives here so both share one implementation and one telemetry format:
+//!
+//! * [`SchedDriver`] — owns the scheduler instance, the reusable
+//!   [`PathSnapshot`] buffer, and the `sched_decision` telemetry provenance
+//!   (event emission plus the batched decision counters). A transport builds
+//!   snapshots into [`SchedDriver::snap_buf`] and calls
+//!   [`SchedDriver::decide`] once per segment/packet it wants to place; the
+//!   emitted events are byte-identical across transports, so the exporters
+//!   and figure tooling need no per-transport code.
+//! * [`TransportApi`] / [`TransportApp`] — the application byte-stream
+//!   seam: a workload driver written against these traits (issue a request,
+//!   arm a timer, react to completions) runs unmodified on either
+//!   transport's testbed.
+//!
+//! The extraction is value-neutral by construction: the MPTCP golden
+//! digests (`experiments/tests/golden.rs`, the same constants the expmatrix
+//! cache contract pins) are bit-identical before and after, which
+//! `transport_refactor_guard` in the experiments crate asserts.
+
+use ecf_core::{Decision, PathSnapshot, SchedInput, Scheduler, Why};
+use simnet::Time;
+use telemetry::{Counter, EventKind, PathObs, SchedDecision, TelemetryHandle, MAX_PATHS};
+
+use crate::segment::{ConnId, ReqId};
+
+/// Scheduler invocation + decision provenance, shared by every transport.
+///
+/// Owns the pluggable [`Scheduler`] and the scratch snapshot buffer the
+/// transport fills before each decision. With telemetry enabled every
+/// decision goes through [`Scheduler::select_explained`] and is recorded
+/// with its full inputs; counter bumps are batched in plain fields and
+/// flushed as one atomic add per counter on drop.
+pub struct SchedDriver {
+    /// The scheduler under evaluation.
+    scheduler: Box<dyn Scheduler>,
+    /// Scratch per-decision path snapshots. The transport rebuilds this
+    /// when path state changed (ACKs, penalization, reinjection) and may
+    /// update it in place for the one field a send moves (`inflight`).
+    pub snap_buf: Vec<PathSnapshot>,
+    tel: TelemetryHandle,
+    tel_conn: u32,
+    /// (decisions, waits) not yet flushed to the telemetry counters.
+    tel_pending: (u64, u64),
+}
+
+impl SchedDriver {
+    /// Wrap `scheduler` for a connection with `n_paths` paths.
+    pub fn new(scheduler: Box<dyn Scheduler>, n_paths: usize) -> Self {
+        SchedDriver {
+            scheduler,
+            snap_buf: Vec::with_capacity(n_paths),
+            tel: TelemetryHandle::off(),
+            tel_conn: 0,
+            tel_pending: (0, 0),
+        }
+    }
+
+    /// Attach a telemetry sink; decision events are stamped with connection
+    /// index `conn`.
+    pub fn set_telemetry(&mut self, tel: TelemetryHandle, conn: u32) {
+        self.tel = tel;
+        self.tel_conn = conn;
+    }
+
+    /// The scheduler's stable short name ("ecf", "default", ...).
+    pub fn scheduler_name(&self) -> &'static str {
+        self.scheduler.name()
+    }
+
+    /// Forward a connection-level send-window stall to the scheduler
+    /// (BLEST adapts its scale factor on this).
+    pub fn on_window_blocked(&mut self) {
+        self.scheduler.on_window_blocked();
+    }
+
+    /// Run the scheduler over the current [`SchedDriver::snap_buf`] for one
+    /// segment. With an enabled telemetry sink the decision is recorded
+    /// with full inputs and provenance; the off-handle check is one
+    /// predictable branch, so a silent run pays nothing extra.
+    pub fn decide(&mut self, now: Time, queued_pkts: u64, send_window_free_pkts: u64) -> Decision {
+        let input = SchedInput { paths: &self.snap_buf, queued_pkts, send_window_free_pkts };
+        if self.tel.is_enabled() {
+            let (d, why) = self.scheduler.select_explained(&input);
+            self.emit_decision(now, d, why, queued_pkts, send_window_free_pkts);
+            self.tel_pending.0 += 1;
+            self.tel_pending.1 += u64::from(d == Decision::Wait);
+            d
+        } else {
+            self.scheduler.select(&input)
+        }
+    }
+
+    /// Record one scheduler verdict with its full inputs (from `snap_buf`)
+    /// and provenance. Only called when the sink is enabled, and hot when it
+    /// is — one event per decision — so it stays inline-friendly and sticks
+    /// to u64 arithmetic (no `Duration::as_micros` u128 division).
+    fn emit_decision(&self, now: Time, decision: Decision, why: Why, k: u64, swnd_free: u64) {
+        self.tel.emit_with(|| {
+            let micros = |d: std::time::Duration| {
+                u32::try_from(d.as_secs() * 1_000_000 + u64::from(d.subsec_micros()))
+                    .unwrap_or(u32::MAX)
+            };
+            let sat32 = |v: u64| u32::try_from(v).unwrap_or(u32::MAX);
+            let mut paths = [PathObs::default(); MAX_PATHS];
+            let n = self.snap_buf.len().min(MAX_PATHS);
+            for (obs, s) in paths.iter_mut().zip(self.snap_buf.iter()) {
+                *obs = PathObs {
+                    path: s.id.0 as u16,
+                    usable: s.usable,
+                    srtt_us: micros(s.srtt),
+                    rttvar_us: micros(s.rtt_dev),
+                    cwnd: s.cwnd,
+                    inflight: s.inflight,
+                    queue_bytes: sat32(s.queue_bytes),
+                };
+            }
+            telemetry::Event {
+                t_ns: now.as_nanos(),
+                kind: EventKind::SchedDecision(SchedDecision {
+                    conn: self.tel_conn,
+                    scheduler: self.scheduler.name(),
+                    decision,
+                    why,
+                    queued_pkts: sat32(k),
+                    send_window_free_pkts: sat32(swnd_free),
+                    n_paths: n as u8,
+                    paths,
+                }),
+            }
+        });
+    }
+}
+
+/// Flush the batched decision counters. Counter snapshots taken while a
+/// traced connection is still alive can lag by the unflushed tail; every
+/// in-tree consumer reads counters after the run (and its testbed) has been
+/// dropped.
+impl Drop for SchedDriver {
+    fn drop(&mut self) {
+        let (decisions, waits) = self.tel_pending;
+        if decisions > 0 {
+            self.tel.add(Counter::Decisions, decisions);
+        }
+        if waits > 0 {
+            self.tel.add(Counter::WaitDecisions, waits);
+        }
+    }
+}
+
+/// What a workload driver may ask of any multipath transport testbed:
+/// issue an application request and arm a timer. Both the MPTCP testbed's
+/// [`crate::Api`] and the quic testbed's API implement this, so one
+/// generic application runs on either transport.
+pub trait TransportApi {
+    /// Issue a request for `bytes` of response payload on connection
+    /// `conn`. On MPTCP this is an HTTP GET on one of several connections;
+    /// on QUIC it opens a new stream on the (single) connection.
+    fn request(&mut self, conn: ConnId, bytes: u64) -> ReqId;
+    /// Arrange for the application's timer callback to fire at `at`.
+    fn set_timer(&mut self, at: Time, token: u64);
+}
+
+/// A transport-agnostic workload driver: [`crate::Application`] generalized
+/// over the API handle. Implementations written against this trait drive
+/// the MPTCP testbed (via [`GenericApp`]) and the quic testbed unchanged.
+pub trait TransportApp {
+    /// Called once at t=0.
+    fn on_start(&mut self, now: Time, api: &mut dyn TransportApi);
+    /// The full response to `req` has been delivered in order.
+    fn on_response_complete(
+        &mut self,
+        now: Time,
+        conn: ConnId,
+        req: ReqId,
+        api: &mut dyn TransportApi,
+    );
+    /// A timer armed through [`TransportApi::set_timer`] fired.
+    fn on_timer(&mut self, _now: Time, _token: u64, _api: &mut dyn TransportApi) {}
+}
+
+impl TransportApi for crate::sim::Api<'_> {
+    fn request(&mut self, conn: ConnId, bytes: u64) -> ReqId {
+        crate::sim::Api::request(self, conn, bytes)
+    }
+    fn set_timer(&mut self, at: Time, token: u64) {
+        crate::sim::Api::set_timer(self, at, token)
+    }
+}
+
+/// Adapter running any [`TransportApp`] on the MPTCP testbed.
+pub struct GenericApp<A: TransportApp>(pub A);
+
+impl<A: TransportApp> crate::sim::Application for GenericApp<A> {
+    fn on_start(&mut self, now: Time, api: &mut crate::sim::Api<'_>) {
+        self.0.on_start(now, api);
+    }
+    fn on_response_complete(
+        &mut self,
+        now: Time,
+        conn: ConnId,
+        req: ReqId,
+        api: &mut crate::sim::Api<'_>,
+    ) {
+        self.0.on_response_complete(now, conn, req, api);
+    }
+    fn on_timer(&mut self, now: Time, token: u64, api: &mut crate::sim::Api<'_>) {
+        self.0.on_timer(now, token, api);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecf_core::SchedulerKind;
+    use std::time::Duration;
+
+    fn snap(id: usize, srtt_ms: u64, cwnd: u32, inflight: u32) -> PathSnapshot {
+        PathSnapshot {
+            id: ecf_core::PathId(id),
+            srtt: Duration::from_millis(srtt_ms),
+            rtt_dev: Duration::ZERO,
+            cwnd,
+            inflight,
+            in_slow_start: false,
+            usable: true,
+            queue_bytes: 0,
+        }
+    }
+
+    #[test]
+    fn decide_matches_bare_scheduler() {
+        let mut driver = SchedDriver::new(SchedulerKind::Default.build(), 2);
+        driver.snap_buf = vec![snap(0, 20, 10, 0), snap(1, 100, 10, 0)];
+        let mut bare = SchedulerKind::Default.build();
+        let paths = driver.snap_buf.clone();
+        let want = bare.select(&SchedInput {
+            paths: &paths,
+            queued_pkts: 5,
+            send_window_free_pkts: 100,
+        });
+        assert_eq!(driver.decide(Time::ZERO, 5, 100), want);
+    }
+
+    #[test]
+    fn telemetry_records_decisions_with_queue_depth() {
+        let tel = TelemetryHandle::with_capacity(16);
+        let mut driver = SchedDriver::new(SchedulerKind::Ecf.build(), 2);
+        driver.set_telemetry(tel.clone(), 3);
+        driver.snap_buf = vec![snap(0, 20, 10, 0), snap(1, 100, 10, 0)];
+        driver.snap_buf[1].queue_bytes = 77_000;
+        let d = driver.decide(Time::from_millis(5), 10, 1000);
+        assert!(matches!(d, Decision::Send(_)));
+        let events = tel.events();
+        assert_eq!(events.len(), 1);
+        match events[0].kind {
+            EventKind::SchedDecision(sd) => {
+                assert_eq!(sd.conn, 3);
+                assert_eq!(sd.scheduler, "ecf");
+                assert_eq!(sd.n_paths, 2);
+                assert_eq!(sd.paths[1].queue_bytes, 77_000);
+            }
+            _ => panic!("expected a sched_decision event"),
+        }
+        drop(driver);
+        assert_eq!(tel.counter(Counter::Decisions), 1);
+    }
+}

@@ -83,6 +83,16 @@ impl PathConfig {
     }
 }
 
+/// Canonical per-path seed derivation: path `index` of a run seeded with
+/// `base` gets `base + index * 7919`. Every harness — the mptcp monolith
+/// testbed, the sharded sweep executor (which keys by *global* unit index so
+/// shard and monolith runs agree bit-for-bit), and the quic testbed — derives
+/// path seeds through this one function so no second variant can drift.
+#[inline]
+pub fn path_seed(base: u64, index: usize) -> u64 {
+    base.wrapping_add(index as u64 * 7919)
+}
+
 /// A live bidirectional path instance.
 pub struct Path {
     /// Label copied from the config.

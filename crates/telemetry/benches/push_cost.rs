@@ -6,7 +6,7 @@ use telemetry::{EventKind, PathObs, SchedDecision, TelemetryHandle, MAX_PATHS};
 fn decision(i: u64) -> EventKind {
     let mut paths = [PathObs::default(); MAX_PATHS];
     for (p, obs) in paths.iter_mut().enumerate() {
-        *obs = PathObs { path: p as u16, usable: true, srtt_us: 20_000 + i as u32, rttvar_us: 5_000, cwnd: 10, inflight: 3 };
+        *obs = PathObs { path: p as u16, usable: true, srtt_us: 20_000 + i as u32, rttvar_us: 5_000, cwnd: 10, inflight: 3, queue_bytes: 0 };
     }
     EventKind::SchedDecision(SchedDecision {
         conn: 0, scheduler: "ecf",

@@ -29,6 +29,10 @@ pub struct PathObs {
     pub cwnd: u32,
     /// Segments in flight.
     pub inflight: u32,
+    /// Bytes in the path's droptail bottleneck queue as sampled at decision
+    /// time (saturated to `u32::MAX`; in-tree queues are ≤ 1.5 MB). The
+    /// cross-layer signal for QAware-style scheduling analysis.
+    pub queue_bytes: u32,
 }
 
 /// One scheduler decision with its complete inputs and provenance.
@@ -195,8 +199,9 @@ mod tests {
     fn event_is_compact() {
         // The ring preallocates `capacity` of these; keep the footprint in
         // check so a big ring stays tens of MB and a hot push touches as
-        // few cache lines as possible.
-        assert!(std::mem::size_of::<Event>() <= 192, "{}", std::mem::size_of::<Event>());
+        // few cache lines as possible. (Raised from 192 when PathObs gained
+        // the 4-byte queue_bytes sample: 4 path slots × 4 bytes.)
+        assert!(std::mem::size_of::<Event>() <= 224, "{}", std::mem::size_of::<Event>());
     }
 
     #[test]

@@ -59,8 +59,8 @@ fn push_decision_fields(out: &mut String, d: &SchedDecision) {
         }
         let _ = write!(
             out,
-            r#"{{"path":{},"usable":{},"srtt_us":{},"rttvar_us":{},"cwnd":{},"inflight":{}}}"#,
-            p.path, p.usable, p.srtt_us, p.rttvar_us, p.cwnd, p.inflight
+            r#"{{"path":{},"usable":{},"srtt_us":{},"rttvar_us":{},"cwnd":{},"inflight":{},"queue_bytes":{}}}"#,
+            p.path, p.usable, p.srtt_us, p.rttvar_us, p.cwnd, p.inflight, p.queue_bytes
         );
     }
     out.push(']');
@@ -104,7 +104,7 @@ pub fn to_jsonl(events: &[Event]) -> String {
 pub fn csv_header() -> String {
     let mut h = String::from("t_us,conn,sched,decision,path,why,queued_pkts,swnd_free_pkts");
     for i in 0..MAX_PATHS {
-        let _ = write!(h, ",p{i}_srtt_us,p{i}_rttvar_us,p{i}_cwnd,p{i}_inflight");
+        let _ = write!(h, ",p{i}_srtt_us,p{i}_rttvar_us,p{i}_cwnd,p{i}_inflight,p{i}_queue_bytes");
     }
     h.push('\n');
     h
@@ -129,9 +129,13 @@ pub fn to_csv(events: &[Event]) -> String {
         for i in 0..MAX_PATHS {
             if i < d.n_paths as usize {
                 let p = &d.paths[i];
-                let _ = write!(out, ",{},{},{},{}", p.srtt_us, p.rttvar_us, p.cwnd, p.inflight);
+                let _ = write!(
+                    out,
+                    ",{},{},{},{},{}",
+                    p.srtt_us, p.rttvar_us, p.cwnd, p.inflight, p.queue_bytes
+                );
             } else {
-                out.push_str(",,,,");
+                out.push_str(",,,,,");
             }
         }
         out.push('\n');
@@ -147,8 +151,24 @@ mod tests {
 
     fn decision_event() -> Event {
         let mut paths = [PathObs::default(); MAX_PATHS];
-        paths[0] = PathObs { path: 0, usable: true, srtt_us: 25_000, rttvar_us: 3_000, cwnd: 10, inflight: 10 };
-        paths[1] = PathObs { path: 1, usable: true, srtt_us: 90_000, rttvar_us: 12_000, cwnd: 8, inflight: 0 };
+        paths[0] = PathObs {
+            path: 0,
+            usable: true,
+            srtt_us: 25_000,
+            rttvar_us: 3_000,
+            cwnd: 10,
+            inflight: 10,
+            queue_bytes: 52_000,
+        };
+        paths[1] = PathObs {
+            path: 1,
+            usable: true,
+            srtt_us: 90_000,
+            rttvar_us: 12_000,
+            cwnd: 8,
+            inflight: 0,
+            queue_bytes: 0,
+        };
         Event {
             t_ns: 1_234_567,
             kind: EventKind::SchedDecision(SchedDecision {
@@ -181,6 +201,7 @@ mod tests {
         assert!(line.contains(r#""why":"ecf_wait""#));
         assert!(line.contains(r#""delta_s":0.012"#));
         assert!(line.contains(r#""srtt_us":25000"#));
+        assert!(line.contains(r#""queue_bytes":52000"#));
         // Exactly n_paths entries serialized.
         assert_eq!(line.matches(r#"{"path":"#).count(), 2);
     }
@@ -231,8 +252,8 @@ mod tests {
         assert_eq!(lines.len(), 2, "header + one decision row");
         assert!(lines[0].starts_with("t_us,conn,sched,decision,path,why"));
         assert!(lines[1].starts_with("1234,0,ecf,wait,,ecf_wait,17,400"));
-        // 8 fixed columns + 4 per path slot.
-        assert_eq!(lines[1].split(',').count(), 8 + 4 * MAX_PATHS);
+        // 8 fixed columns + 5 per path slot.
+        assert_eq!(lines[1].split(',').count(), 8 + 5 * MAX_PATHS);
     }
 
     #[test]

@@ -27,16 +27,23 @@ TESTKIT_BENCH_JSON="$tmp_json" TESTKIT_BENCH_SMOKE=1 \
     cargo bench --offline -p ecf-bench --bench sim_throughput
 
 check_bench_json() {
-    # $1: path; $2: label. Fails if missing, unparseable, or lacking the
-    # sim_throughput results / required fields.
+    # $1: path; $2: label; $3...: extra required benchmark names beyond the
+    # baselined set. Fails if missing, unparseable, or lacking the
+    # sim_throughput results / required fields. New benchmarks are listed as
+    # extras on the fresh-output check only until scripts/bench_update.sh
+    # next regenerates BENCH.json (the perf gate iterates the names present
+    # in the committed baseline, so an un-baselined bench is shape-checked
+    # but not yet perf-gated).
     local path="$1" label="$2"
+    shift 2
     if [ ! -s "$path" ]; then
         echo "verify.sh: $label missing or empty: $path" >&2
         return 1
     fi
-    python3 - "$path" "$label" <<'PY'
+    python3 - "$path" "$label" "$@" <<'PY'
 import json, sys
 path, label = sys.argv[1], sys.argv[2]
+extra = tuple(sys.argv[3:])
 try:
     doc = json.load(open(path))
 except Exception as e:
@@ -54,7 +61,7 @@ for want in (
     "sim_throughput/browse_6conn",
     "sim_throughput/browse_24conn",
     "sim_throughput/browse_1k",
-):
+) + extra:
     if want not in names:
         sys.exit(f"verify.sh: {label}: missing benchmark {want}")
 for r in results:
@@ -67,7 +74,8 @@ print(f"verify.sh: {label}: ok ({len(results)} results)")
 PY
 }
 
-check_bench_json "$tmp_json" "smoke bench JSON"
+check_bench_json "$tmp_json" "smoke bench JSON" \
+    "sim_throughput/quic_web_107stream"
 check_bench_json "BENCH.json" "committed BENCH.json"
 
 echo "== perf gate: sim_throughput vs committed BENCH.json =="
@@ -165,6 +173,25 @@ echo "$dyn_out" | grep -q "ladder means: default=" \
     || { echo "verify.sh: dyn_handover output lacks the summary line" >&2; exit 1; }
 [ -s results/dyn_handover.txt ] \
     || { echo "verify.sh: results/dyn_handover.txt missing or empty" >&2; exit 1; }
+
+echo "== quic transport smoke (quic_web, quick) =="
+# --no-save: the committed results/quic_web.txt is the full-effort run.
+# Exercises the second transport end to end: 107 streams on one MPQUIC
+# connection through the same scheduler seam as MPTCP, both transports in
+# one report.
+quic_out="$(cargo run --offline --release -p experiments --bin repro -- quic_web --quick --no-save)"
+echo "$quic_out" | grep -q "107-object page" \
+    || { echo "verify.sh: quic_web output lacks the comparison header" >&2; exit 1; }
+for col in "plt_s" "ooo_p99_s"; do
+    echo "$quic_out" | grep -q "$col" \
+        || { echo "verify.sh: quic_web output lacks the $col column" >&2; exit 1; }
+done
+for transport in "quic" "mptcp"; do
+    echo "$quic_out" | grep -Eq "^ *$transport  " \
+        || { echo "verify.sh: quic_web output lacks $transport rows" >&2; exit 1; }
+done
+[ -s results/quic_web.txt ] \
+    || { echo "verify.sh: results/quic_web.txt missing or empty" >&2; exit 1; }
 
 echo "== experiment-matrix smoke (repro matrix, quick, twice) =="
 # Cold run into a throwaway cache, then a warm re-run: the second pass must
