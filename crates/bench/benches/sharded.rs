@@ -20,7 +20,9 @@
 //! run with `TESTKIT_WORKERS=1` for the pure locality effect, unset for
 //! locality + parallelism.
 
-use experiments::sharding::{browse_10k, browse_1k, run_sweep, SweepOptions};
+use experiments::sharding::{
+    browse_10k, browse_10k_coupled, browse_1k, browse_coupled_population, run_sweep, SweepOptions,
+};
 use experiments::{default_workers, ENV_WORKERS};
 use testkit::bench::{
     black_box, criterion_group, criterion_main, Criterion, Throughput, ENV_SMOKE,
@@ -61,6 +63,42 @@ fn bench_sharded(c: &mut Criterion) {
     group.sample_size(3);
     group.throughput(Throughput::Elements(mono.events_total()));
     group.bench_function("browse_10k_mono", |b| {
+        b.iter(|| black_box(run_sweep(&pop, &mono_opts).digest))
+    });
+
+    // The coupled population: every unit's LTE leg contends for one shared
+    // bottleneck, so PR 7's partitioner could only run it collapsed. The
+    // co-sim lockstep loop (DESIGN.md §13) spans it across
+    // COUPLED_BENCH_GROUPS engine groups — coarse enough to amortize the
+    // window barrier, small enough to stay cache-resident; the monolith
+    // variant is the same windowed controller on a single engine. Digest
+    // equality is asserted here as above — the speedup must come from
+    // locality, not from simulating less or syncing more coarsely.
+    let pop = if smoke {
+        browse_coupled_population(1, 24, 6, 1.0, 50.0, ecf_core::SchedulerKind::Ecf)
+    } else {
+        browse_10k_coupled(1)
+    };
+    let cosim_opts = SweepOptions {
+        max_shards: experiments::COUPLED_BENCH_GROUPS,
+        ..SweepOptions::default()
+    };
+    let cosim = run_sweep(&pop, &cosim_opts);
+    let mono = run_sweep(&pop, &mono_opts);
+    assert_eq!(
+        cosim.digest, mono.digest,
+        "co-simulated and monolithic coupled runs must merge identically"
+    );
+
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(cosim.events_total()));
+    group.bench_function("browse_coupled", |b| {
+        b.iter(|| black_box(run_sweep(&pop, &cosim_opts).digest))
+    });
+
+    group.sample_size(3);
+    group.throughput(Throughput::Elements(mono.events_total()));
+    group.bench_function("browse_coupled_mono", |b| {
         b.iter(|| black_box(run_sweep(&pop, &mono_opts).digest))
     });
 

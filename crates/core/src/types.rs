@@ -93,7 +93,11 @@ pub enum Decision {
 /// `select` is called once per segment the transport wants to place. The
 /// scheduler may keep internal state (hysteresis bits, deficit counters);
 /// feedback hooks let the transport report events some schedulers adapt to.
-pub trait Scheduler {
+///
+/// `Send` is required so whole engines (which own their schedulers) can
+/// migrate across lockstep worker threads in co-simulated sweeps; scheduler
+/// state is plain data, so this costs implementors nothing.
+pub trait Scheduler: Send {
     /// Stable short name used in reports ("default", "ecf", ...).
     fn name(&self) -> &'static str;
 

@@ -6,8 +6,11 @@
 //! repro list                         show available ids
 //! repro matrix <spec.json> [--quick] [--no-save] [--force] [--dry-run]
 //!              [--cache-dir DIR]     declarative experiment matrix
-//! repro sweep [--units N] [--shards N] [--workers N] [--seed N]
-//!                                    sharded browse population sweep
+//! repro sweep [--coupled] [--units N] [--shards N] [--workers N] [--seed N]
+//!                                    sharded browse population sweep;
+//!                                    --coupled adds a shared LTE bottleneck
+//!                                    (lockstep co-sim) and prints its
+//!                                    window/round/boundary telemetry
 //! repro --trace out.jsonl [--quick] [--scenario dyn.json] [--seed N]
 //!                                    traced canonical run (0.3/8.6, ECF)
 //! ```
@@ -104,6 +107,7 @@ fn main() {
             num("--shards", 0),
             flag_value("--workers").map(|_| num("--workers", 1)).filter(|&w| w > 0),
             num("--seed", 1) as u64,
+            args.iter().any(|a| a == "--coupled"),
         );
         return;
     }
@@ -185,23 +189,49 @@ fn run_matrix_cmd(spec_path: &str, opts: experiments::MatrixOptions, save: bool)
     }
 }
 
-fn run_sweep_cmd(units: usize, max_shards: usize, workers: Option<usize>, seed: u64) {
-    use experiments::{browse_population, run_sweep, SweepOptions};
-    let pop = browse_population(seed, units, 6, 1.0, 10.0, ecf_core::SchedulerKind::Ecf);
+fn run_sweep_cmd(
+    units: usize,
+    max_shards: usize,
+    workers: Option<usize>,
+    seed: u64,
+    coupled: bool,
+) {
+    use experiments::{browse_coupled_population, browse_population, run_sweep, SweepOptions};
+    use telemetry::Counter;
+    let pop = if coupled {
+        browse_coupled_population(seed, units, 6, 1.0, 50.0, ecf_core::SchedulerKind::Ecf)
+    } else {
+        browse_population(seed, units, 6, 1.0, 10.0, ecf_core::SchedulerKind::Ecf)
+    };
     let n_conns: usize = pop.units.iter().map(|u| u.conns.len()).sum();
     eprintln!(
-        "== sweep: {units} units, {n_conns} conns, {} paths, seed {seed} ==",
+        "== sweep{}: {units} units, {n_conns} conns, {} paths, seed {seed} ==",
+        if coupled { " (coupled)" } else { "" },
         pop.paths.len()
     );
+    let tel = if coupled {
+        telemetry::TelemetryHandle::enabled()
+    } else {
+        telemetry::TelemetryHandle::off()
+    };
     let started = std::time::Instant::now();
-    let report = run_sweep(
-        &pop,
-        &SweepOptions { max_shards, workers, telemetry: telemetry::TelemetryHandle::off() },
-    );
+    let report = run_sweep(&pop, &SweepOptions { max_shards, workers, telemetry: tel.clone() });
     let wall = started.elapsed().as_secs_f64();
     let events = report.events_total();
     let loaded = report.units.iter().filter(|u| u.page_load.is_some()).count();
     println!("shards:      {}", report.shard_events.len());
+    if coupled {
+        println!(
+            "window:      {:.3} ms lookahead",
+            pop.couplings[0].window_nanos() as f64 / 1e6
+        );
+        println!("sync rounds: {}", tel.counter(Counter::CosimRounds));
+        println!("boundary:    {} msgs", tel.counter(Counter::CosimBoundaryMsgs));
+        println!(
+            "stall:       {:.1} ms barrier wait",
+            tel.counter(Counter::CosimStallNs) as f64 / 1e6
+        );
+    }
     println!("events:      {events}");
     println!("events/s:    {:.0}", events as f64 / wall.max(1e-9));
     println!("pages done:  {loaded}/{units}");

@@ -1,0 +1,506 @@
+//! # cosim — conservative-lookahead co-simulation of coupled populations
+//!
+//! PR 7's sharded sweeps only parallelize populations whose units are
+//! link-disjoint: any shared path forces every unit touching it into one
+//! monolithic engine. This module lifts that restriction for the common
+//! "shared bottleneck" topology — many units whose private access legs all
+//! contend for one aggregate uplink (e.g. a cell's LTE backhaul) — by
+//! modeling the bottleneck as an explicit cross-shard coupling
+//! ([`SharedBottleneck`]) instead of a literally shared queue.
+//!
+//! ## Why not share the queue itself?
+//!
+//! A droptail [`simnet::Link`] spanning two engines would need *zero*
+//! lookahead: `enqueue` order determines arrivals and drops, and the
+//! cross-layer scheduler snapshot samples `queued_bytes(now)`
+//! synchronously, so either engine could affect the other at the current
+//! instant. Conservative synchronization with a zero horizon deadlocks, so
+//! literal sharing still collapses to one engine (reported, no longer
+//! silent — see [`crate::sharding::run_sweep`]).
+//!
+//! ## The coupling model
+//!
+//! Each member of a [`SharedBottleneck`] keeps a *private* link (its own
+//! queue, its own seeded jitter/loss stream — exactly the monolith's
+//! link), and the bottleneck is expressed as rate contention: a
+//! deterministic controller measures each member's offered load over a
+//! lockstep window and re-shares the aggregate capacity equally among the
+//! members that were active, applying the shares with
+//! [`simnet::Link::set_rate_bps`] at the window boundary. The window is
+//! the coupling's *conservative lookahead*:
+//!
+//! ```text
+//! W = prop_delay + serialization floor of one full segment at capacity
+//! ```
+//!
+//! computed exactly in integer nanoseconds ([`simnet::serialization_nanos`]
+//! — the same Q32 math a live link uses), so no engine ever needs to see
+//! another engine's state younger than one window: a send entering the
+//! shared hop cannot influence a sibling's service before `W` elapses.
+//! Engines advance event-by-event to each horizon `k·W` (window-barrier
+//! lockstep — the builder's choice over null messages, since the horizon
+//! is global and fixed), exchange per-member loads as timestamped
+//! [`BoundaryMsg`]s ordered deterministically by `(time, seq)`, apply the
+//! controller, and advance the global window.
+//!
+//! ## The bit-identical contract
+//!
+//! The merged [`UnitReport`] digest is identical to the monolithic run at
+//! every shard count and worker count, because the monolith *is* the same
+//! windowed system with one engine group: the controller runs on the same
+//! schedule with the same inputs (per-member loads are private-link
+//! functions of that member's own traffic, which PR 7's per-unit
+//! extraction already made partition-invariant), and `set_rate_bps` is
+//! link-local state applied at identical simulated times. Message order is
+//! pinned by the `(time, seq)` sort, merge order by global unit index. A
+//! zero-window coupling (`prop_delay == 0` *and* an effectively infinite
+//! capacity) has no safe horizon: its members are unioned by the
+//! partitioner and the population falls back to a collapsed single-engine
+//! run — degenerate, but never a deadlock or a divergence.
+
+use std::time::{Duration, Instant};
+
+use mptcp::Event;
+use simnet::{dur_nanos, serialization_nanos, EventQueue, RunOutcome, Time};
+use tcp_model::{wire_size, MSS};
+use telemetry::{Counter, TelemetryHandle};
+
+use crate::common::{default_workers, Effort, ENV_WORKERS};
+use crate::sharding::{
+    browse_coupled_population, build_shard, digest_units, extract_reports, flush_load_balance,
+    plan_shards, Population, ShardRun, SweepOptions, SweepReport, UnitReport,
+};
+
+/// An explicit cross-shard coupling: `members` are *global* path indices
+/// whose private forward links contend for one aggregate `capacity_bps`.
+///
+/// Members stay private per unit — each keeps its own queue and seeded
+/// stochastic streams — so units coupled only through a bottleneck still
+/// partition into separate engine groups; the contention is resolved by
+/// the windowed controller in this module.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SharedBottleneck {
+    /// Global path indices of the contending member links.
+    pub members: Vec<usize>,
+    /// Aggregate capacity shared by all members, in bits per second. Also
+    /// the rate an *idle* member is granted (optimistic start: a member
+    /// alone on the bottleneck gets the full pipe until the next window).
+    pub capacity_bps: u64,
+    /// Propagation delay of the shared hop — the first term of the
+    /// lookahead window.
+    pub prop_delay: Duration,
+}
+
+impl SharedBottleneck {
+    /// The coupling's conservative lookahead window in nanoseconds:
+    /// propagation delay plus the serialization floor of one full wire
+    /// segment at the aggregate capacity. Zero means no safe horizon
+    /// exists and the coupling degenerates to a collapse (see the module
+    /// docs).
+    pub fn window_nanos(&self) -> u64 {
+        dur_nanos(self.prop_delay)
+            .saturating_add(serialization_nanos(self.capacity_bps, wire_size(MSS)))
+    }
+}
+
+/// One boundary exchange: member `seq` (its global ordinal within the
+/// coupling) offered `load` bytes during the window ending at `time`
+/// nanoseconds. Rounds sort their messages by `(time, seq)` — a total
+/// order, since ordinals are unique — so the controller consumes them in
+/// the same sequence however many engine groups produced them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BoundaryMsg {
+    /// Window-end timestamp, nanoseconds since simulation start.
+    pub time: u64,
+    /// Global member ordinal within the coupling.
+    pub seq: u64,
+    /// Bytes the member offered to its link during the window (drops
+    /// included — demand, not throughput).
+    pub load: u64,
+}
+
+/// One engine group plus its lockstep bookkeeping.
+struct Group {
+    run: ShardRun,
+    /// Drained: no pending events, will never produce more.
+    done: bool,
+    /// Cumulative wall time across rounds.
+    wall_ns: u64,
+    /// Wall time of the last round (0 when skipped as done).
+    round_wall_ns: u64,
+}
+
+impl Group {
+    fn advance(&mut self, t: Time) {
+        if self.done {
+            self.round_wall_ns = 0;
+            return;
+        }
+        let started = Instant::now();
+        let outcome = self.run.tb.run_until(t);
+        self.round_wall_ns = started.elapsed().as_nanos() as u64;
+        self.wall_ns += self.round_wall_ns;
+        self.done = matches!(outcome, RunOutcome::Drained);
+    }
+}
+
+/// A coupling resolved against the engine groups: member ordinal →
+/// (group index, group-local path index).
+struct CouplingState {
+    capacity_bps: u64,
+    locs: Vec<(usize, usize)>,
+}
+
+/// A coupled population mid-flight: engine groups in lockstep plus the
+/// window controller state. Most callers want [`run_coupled`] (or just
+/// [`crate::sharding::run_sweep`], which dispatches here); the stepwise
+/// API exists so tests can observe the run between windows — the
+/// counting-allocator audit drives `step` directly.
+pub struct CoupledRun {
+    groups: Vec<Group>,
+    couplings: Vec<CouplingState>,
+    window_ns: u64,
+    horizon_ns: u64,
+    /// Next window index (1-based); window k ends at `k·window_ns`.
+    k: u64,
+    /// Simulated end of the last completed window.
+    now_ns: u64,
+    workers: usize,
+    telemetry: TelemetryHandle,
+    n_units: usize,
+    finished: bool,
+    /// Reused per-round message buffer (steady state allocates nothing).
+    msgs: Vec<BoundaryMsg>,
+    rounds: u64,
+    boundary_msgs: u64,
+    stall_ns: u64,
+    worst_imbalance_permille: u64,
+}
+
+impl CoupledRun {
+    /// Partition `pop` (couplings with a positive window do *not* union
+    /// their members) and build one engine group per shard, ready to step.
+    pub fn new(pop: &Population, opts: &SweepOptions) -> CoupledRun {
+        let window_ns = pop
+            .couplings
+            .iter()
+            .map(SharedBottleneck::window_nanos)
+            .filter(|&w| w > 0)
+            .min()
+            .expect("CoupledRun needs at least one positive-window coupling");
+        let shards = plan_shards(pop, opts.max_shards);
+        let groups: Vec<Group> = shards
+            .iter()
+            .map(|idxs| Group {
+                run: build_shard(pop, idxs, EventQueue::<Event>::default()),
+                done: false,
+                wall_ns: 0,
+                round_wall_ns: 0,
+            })
+            .collect();
+        // Resolve each member to its owning group once. A member no unit
+        // uses lives in no group and drops out of the contention set.
+        let locate = |g: usize| -> Option<(usize, usize)> {
+            groups
+                .iter()
+                .enumerate()
+                .find_map(|(gi, grp)| grp.run.globals.binary_search(&g).ok().map(|l| (gi, l)))
+        };
+        let couplings: Vec<CouplingState> = pop
+            .couplings
+            .iter()
+            .filter(|c| c.window_nanos() > 0)
+            .map(|c| CouplingState {
+                capacity_bps: c.capacity_bps,
+                locs: c.members.iter().filter_map(|&m| locate(m)).collect(),
+            })
+            .collect();
+        let max_members = couplings.iter().map(|c| c.locs.len()).max().unwrap_or(0);
+        CoupledRun {
+            groups,
+            couplings,
+            window_ns,
+            horizon_ns: pop.horizon.as_nanos(),
+            k: 1,
+            now_ns: 0,
+            workers: opts
+                .workers
+                .unwrap_or_else(|| {
+                    let fallback =
+                        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+                    let env = std::env::var(ENV_WORKERS).ok();
+                    default_workers(env.as_deref(), fallback)
+                })
+                .max(1),
+            telemetry: opts.telemetry.clone(),
+            n_units: pop.units.len(),
+            finished: false,
+            msgs: Vec::with_capacity(max_members),
+            rounds: 0,
+            boundary_msgs: 0,
+            stall_ns: 0,
+            worst_imbalance_permille: 0,
+        }
+    }
+
+    /// Number of engine groups running in lockstep.
+    pub fn n_groups(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// The global lockstep window in nanoseconds (minimum over couplings).
+    pub fn window_nanos(&self) -> u64 {
+        self.window_ns
+    }
+
+    /// Simulated end of the last completed window.
+    pub fn now(&self) -> Time {
+        Time::from_nanos(self.now_ns)
+    }
+
+    /// Events processed so far across every engine group.
+    pub fn events_total(&self) -> u64 {
+        self.groups.iter().map(|g| g.run.tb.events_processed()).sum()
+    }
+
+    /// Advance one lockstep window: run every live group to the horizon
+    /// `min(k·W, horizon)`, exchange boundary loads, apply the contention
+    /// controller, and advance `k`. Returns `false` once every group has
+    /// drained or the horizon is reached (after which it is a no-op).
+    pub fn step(&mut self) -> bool {
+        if self.finished {
+            return false;
+        }
+        let t_ns = self.k.saturating_mul(self.window_ns).min(self.horizon_ns);
+        let t = Time::from_nanos(t_ns);
+        self.advance_all(t);
+        self.account_round();
+
+        let multi = self.groups.len() > 1;
+        let CoupledRun { groups, couplings, msgs, .. } = self;
+        for c in couplings.iter() {
+            msgs.clear();
+            for (ord, &(g, local)) in c.locs.iter().enumerate() {
+                let load =
+                    groups[g].run.tb.world_mut().paths[local].fwd.take_offered_bytes();
+                msgs.push(BoundaryMsg { time: t_ns, seq: ord as u64, load });
+            }
+            // Deterministic round order: (time, seq) is a total order, so
+            // the controller's input sequence is independent of which
+            // group produced which message.
+            msgs.sort_unstable_by_key(|m| (m.time, m.seq));
+            let active = msgs.iter().filter(|m| m.load > 0).count() as u64;
+            let share = c
+                .capacity_bps
+                .checked_div(active)
+                .map_or(c.capacity_bps, |s| s.max(1));
+            for m in msgs.iter() {
+                let (g, local) = c.locs[m.seq as usize];
+                let rate = if m.load > 0 { share } else { c.capacity_bps };
+                groups[g].run.tb.world_mut().paths[local].fwd.set_rate_bps(rate);
+            }
+            if multi {
+                self.boundary_msgs += c.locs.len() as u64;
+            }
+        }
+        self.rounds += 1;
+        self.now_ns = t_ns;
+        self.k += 1;
+        if t_ns >= self.horizon_ns || self.groups.iter().all(|g| g.done) {
+            self.finished = true;
+        }
+        !self.finished
+    }
+
+    fn advance_all(&mut self, t: Time) {
+        let live = self.groups.iter().filter(|g| !g.done).count();
+        if self.workers <= 1 || live <= 1 {
+            for g in &mut self.groups {
+                g.advance(t);
+            }
+        } else {
+            // One scoped spawn wave per window: the implicit join IS the
+            // window barrier. Group count is small (≤ shards), so the
+            // spawn cost stays negligible against a window of simulation.
+            let chunk = self.groups.len().div_ceil(self.workers);
+            std::thread::scope(|s| {
+                for ch in self.groups.chunks_mut(chunk) {
+                    s.spawn(move || {
+                        for g in ch {
+                            g.advance(t);
+                        }
+                    });
+                }
+            });
+        }
+    }
+
+    /// Fold the round's per-group wall times into the stall / imbalance
+    /// accounting (only meaningful with >1 group).
+    fn account_round(&mut self) {
+        if self.groups.len() <= 1 {
+            return;
+        }
+        let (mut max, mut min, mut sum, mut n) = (0u64, u64::MAX, 0u64, 0u64);
+        for g in &self.groups {
+            if g.round_wall_ns == 0 {
+                continue;
+            }
+            max = max.max(g.round_wall_ns);
+            min = min.min(g.round_wall_ns);
+            sum += g.round_wall_ns;
+            n += 1;
+        }
+        if n > 1 {
+            // Every group waits at the barrier for the slowest one.
+            self.stall_ns += n * max - sum;
+            self.worst_imbalance_permille =
+                self.worst_imbalance_permille.max(max.saturating_mul(1000) / min);
+        }
+    }
+
+    /// Run any remaining windows, then extract and merge every group's
+    /// unit reports in fixed global-unit order, flushing the sweep's
+    /// load-balance and co-sim counters (sweep teardown).
+    pub fn finish(mut self) -> SweepReport {
+        while self.step() {}
+        let mut units: Vec<Option<UnitReport>> = (0..self.n_units).map(|_| None).collect();
+        let mut shard_events = Vec::with_capacity(self.groups.len());
+        let mut shard_wall_ns = Vec::with_capacity(self.groups.len());
+        for g in &self.groups {
+            shard_events.push(g.run.tb.events_processed());
+            shard_wall_ns.push(g.wall_ns);
+            for r in extract_reports(&g.run) {
+                let slot = r.unit;
+                assert!(units[slot].is_none(), "unit {slot} reported twice");
+                units[slot] = Some(r);
+            }
+        }
+        let units: Vec<UnitReport> =
+            units.into_iter().map(|r| r.expect("every unit simulated")).collect();
+
+        flush_load_balance(&self.telemetry, &shard_events, &shard_wall_ns);
+        if self.telemetry.is_enabled() {
+            self.telemetry.add(Counter::CosimRounds, self.rounds);
+            self.telemetry.add(Counter::CosimBoundaryMsgs, self.boundary_msgs);
+            self.telemetry.add(Counter::CosimStallNs, self.stall_ns);
+            if self.worst_imbalance_permille > 0 {
+                self.telemetry
+                    .set_max(Counter::CosimRoundImbalancePermille, self.worst_imbalance_permille);
+            }
+        }
+        SweepReport { digest: digest_units(&units), units, shard_events, shard_wall_ns }
+    }
+}
+
+/// Run a coupled population to completion: lockstep windows over the
+/// planned engine groups, merged per the usual sweep contract.
+/// [`crate::sharding::run_sweep`] dispatches here whenever the population
+/// has a positive-window coupling; `max_shards == 1` is the monolithic
+/// reference (one group, same windowed semantics, hence the same digest).
+pub fn run_coupled(pop: &Population, opts: &SweepOptions) -> SweepReport {
+    CoupledRun::new(pop, opts).finish()
+}
+
+// ---------------------------------------------------------------------------
+// The payoff experiment
+// ---------------------------------------------------------------------------
+
+fn median_us(mut v: Vec<u64>) -> u64 {
+    if v.is_empty() {
+        return 0;
+    }
+    v.sort_unstable();
+    v[v.len() / 2]
+}
+
+/// Engine-group count measured in the `coupled_browse` experiment and the
+/// `sharded/browse_coupled` bench. Groups this coarse amortize the
+/// per-window barrier (one `run_until` entry per group per round) while
+/// each group's working set stays cache-resident; per-unit groups
+/// (`max_shards = 0`) pay the barrier ~200× as often for the same events.
+pub const COUPLED_BENCH_GROUPS: usize = 8;
+
+/// `coupled_browse`: the shared-bottleneck browse population that PR 7
+/// could not shard at all, run monolithic vs co-simulated and compared
+/// bit-for-bit. The report shows page-load stats, the lockstep window,
+/// sync-round telemetry, and the events/s ratio.
+pub fn coupled_browse(effort: Effort) -> String {
+    let (pop, label) = match effort {
+        Effort::Full => {
+            (crate::sharding::browse_10k_coupled(1), "browse_10k_coupled (1667 units x 6 conns)")
+        }
+        Effort::Quick => (
+            browse_coupled_population(1, 24, 6, 1.0, 50.0, ecf_core::SchedulerKind::Ecf),
+            "browse_coupled quick (24 units x 6 conns)",
+        ),
+    };
+    let coupling = &pop.couplings[0];
+    let window = coupling.window_nanos();
+    let capacity_mbps = coupling.capacity_bps as f64 / 1e6;
+
+    let started = Instant::now();
+    let mono = crate::sharding::run_sweep(
+        &pop,
+        &SweepOptions { max_shards: 1, workers: Some(1), ..Default::default() },
+    );
+    let mono_wall = started.elapsed().as_secs_f64();
+
+    let tel = TelemetryHandle::enabled();
+    let started = Instant::now();
+    let cosim = crate::sharding::run_sweep(
+        &pop,
+        &SweepOptions {
+            max_shards: COUPLED_BENCH_GROUPS,
+            workers: Some(1),
+            telemetry: tel.clone(),
+        },
+    );
+    let cosim_wall = started.elapsed().as_secs_f64();
+
+    let plt_us: Vec<u64> = cosim
+        .units
+        .iter()
+        .filter_map(|u| u.page_load.map(|t| t.as_nanos() / 1_000))
+        .collect();
+    let loaded = plt_us.len();
+    let mono_rate = mono.events_total() as f64 / mono_wall.max(1e-9);
+    let cosim_rate = cosim.events_total() as f64 / cosim_wall.max(1e-9);
+
+    let mut out = String::new();
+    out.push_str("coupled_browse: shared-LTE-bottleneck population, monolith vs co-sim\n");
+    out.push_str(&format!(
+        "workload: {label}, shared LTE capacity {capacity_mbps:.0} Mbps, WiFi 1 Mbps/unit\n"
+    ));
+    out.push_str(&format!(
+        "lookahead window: {:.3} ms ({:.0} ms prop + 1500 B serialization floor at \
+         {capacity_mbps:.0} Mbps)\n",
+        window as f64 / 1e6,
+        coupling.prop_delay.as_secs_f64() * 1e3,
+    ));
+    out.push_str(&format!(
+        "digests: monolith {:#018x}, co-sim {:#018x} ({})\n",
+        mono.digest,
+        cosim.digest,
+        if mono.digest == cosim.digest { "bit-identical" } else { "MISMATCH" }
+    ));
+    out.push_str(&format!(
+        "engine groups: {} co-simulated (monolith: 1); sync rounds {}, boundary msgs {}\n",
+        cosim.shard_events.len(),
+        tel.counter(Counter::CosimRounds),
+        tel.counter(Counter::CosimBoundaryMsgs),
+    ));
+    out.push_str(&format!(
+        "pages loaded: {loaded}/{} units, median PLT {:.3} s\n",
+        cosim.units.len(),
+        median_us(plt_us) as f64 / 1e6
+    ));
+    out.push_str(&format!(
+        "throughput: monolith {:.2}M events/s, co-sim {:.2}M events/s ({:.1}x)\n",
+        mono_rate / 1e6,
+        cosim_rate / 1e6,
+        cosim_rate / mono_rate.max(1e-9)
+    ));
+    assert_eq!(mono.digest, cosim.digest, "coupled co-sim diverged from the monolith");
+    out
+}

@@ -24,6 +24,7 @@
 
 pub mod ablations;
 pub mod common;
+pub mod cosim;
 pub mod downloads;
 pub mod dynamics;
 pub mod expmatrix;
@@ -39,11 +40,14 @@ pub use common::{
     run_wget, Effort, ENV_WORKERS,
     StreamingConfig, StreamingOutcome, BW_SET, MAX_WORKERS, VARIABLE_BW_SET,
 };
+pub use cosim::{run_coupled, BoundaryMsg, CoupledRun, SharedBottleneck, COUPLED_BENCH_GROUPS};
 pub use expmatrix::{run_matrix, MatrixOptions, MatrixOutcome};
 pub use quicweb::{quic_web, run_quic_web, OpenAllApp, QUIC_WEB_SCHEDULERS};
 pub use sharding::{
-    browse_10k, browse_1k, browse_population, partition, plan_shards, run_balanced, run_sweep,
-    PopConn, PopUnit, Population, SweepOptions, SweepReport, UnitReport,
+    browse_10k, browse_10k_coupled, browse_1k, browse_1k_coupled, browse_coupled_population,
+    browse_population,
+    partition, plan_shards, run_balanced, run_sweep, PopConn, PopUnit, Population, SweepOptions,
+    SweepReport, UnitReport,
 };
 pub use trace::{run_traced, TraceRun};
 
@@ -92,6 +96,7 @@ pub fn registry() -> Vec<Experiment> {
         Experiment { id: "dyn_handover", title: "Dynamics: periodic LTE blackout ladder", run: dynamics::dyn_handover },
         Experiment { id: "dyn_burstloss", title: "Dynamics: bursty LTE loss sweep", run: dynamics::dyn_burstloss },
         Experiment { id: "quic_web", title: "QUIC: 107-stream MPQUIC page load vs 6-connection MPTCP", run: quicweb::quic_web },
+        Experiment { id: "coupled_browse", title: "Co-sim: shared-bottleneck browse population, monolith vs lockstep engine groups", run: cosim::coupled_browse },
     ]
 }
 

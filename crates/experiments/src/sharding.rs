@@ -34,12 +34,14 @@ use std::time::Instant;
 
 use ecf_core::SchedulerKind;
 use mptcp::{ConnConfig, ConnSpec, Event, RecorderConfig, RequestRecord, Testbed, TestbedConfig};
+use scenario::Scenario;
 use simnet::{EventQueue, PathConfig, Time};
 use telemetry::{Counter, TelemetryHandle};
 use testkit::digest::Fnv1a;
 use webload::{BrowserApp, ObjectRecord, PageModel};
 
 use crate::common::{parallel_map, parallel_map_workers};
+use crate::cosim::{self, SharedBottleneck};
 
 /// One connection of a population unit. Paths are *global* indices into
 /// [`Population::paths`].
@@ -65,10 +67,6 @@ pub struct PopUnit {
 }
 
 /// A many-connection workload: the closed-world input of a sweep.
-///
-/// Scenarios (network dynamics) are not supported in populations — a
-/// scenario addresses global path indices from a single engine's clock and
-/// would need per-shard re-targeting; populations are static networks.
 #[derive(Debug, Clone)]
 pub struct Population {
     /// Every physical path, globally indexed.
@@ -79,6 +77,22 @@ pub struct Population {
     pub seed: u64,
     /// Simulation horizon per shard (engines usually drain earlier).
     pub horizon: Time,
+    /// Explicit shared bottlenecks: member paths stay private per unit
+    /// but contend for aggregate capacity through the windowed co-sim
+    /// controller ([`crate::cosim`]). A coupling with a positive lookahead
+    /// window lets its units span engine groups; a zero-window coupling
+    /// unions them (collapse — see [`partition`]).
+    pub couplings: Vec<SharedBottleneck>,
+    /// Population-level network dynamics on the global clock, addressed
+    /// by *global* path index. Each shard receives the events for its own
+    /// paths via [`Scenario::retarget`]; events for foreign paths act only
+    /// on state the shard does not own, so dropping them preserves the
+    /// digest contract (proven by the scenario equality tests).
+    pub scenario: Scenario,
+    /// Recorder configuration for every shard engine. Must keep
+    /// `ooo_per_conn` semantics consistent across runs being compared:
+    /// the digest covers whatever pools this config produces.
+    pub recorder: RecorderConfig,
 }
 
 /// A browse population: `n_units` users, each with a private WiFi + LTE
@@ -112,7 +126,15 @@ pub fn browse_population(
             .collect();
         units.push(PopUnit { conns, page: PageModel::cnn_like(page_seed) });
     }
-    Population { paths, units, seed: master_seed, horizon: Time::from_secs(600) }
+    Population {
+        paths,
+        units,
+        seed: master_seed,
+        horizon: Time::from_secs(600),
+        couplings: Vec::new(),
+        scenario: Scenario::new(),
+        recorder: RecorderConfig { ooo_per_conn: true, ..RecorderConfig::default() },
+    }
 }
 
 /// The standard ~1k-connection browse population (167 units × 6 conns).
@@ -123,6 +145,52 @@ pub fn browse_1k(seed: u64) -> Population {
 /// The standard ~10k-connection browse population (1667 units × 6 conns).
 pub fn browse_10k(seed: u64) -> Population {
     browse_population(seed, 1667, 6, 1.0, 10.0, SchedulerKind::Ecf)
+}
+
+/// A browse population whose per-unit LTE legs all contend for one shared
+/// bottleneck of `lte_capacity_mbps` aggregate (each leg also *starts* at
+/// the full capacity — the controller's optimistic idle grant). WiFi stays
+/// private per unit. Before co-simulation this topology collapsed to a
+/// single engine; now the units span engine groups coupled through the
+/// bottleneck's lookahead window.
+pub fn browse_coupled_population(
+    master_seed: u64,
+    n_units: usize,
+    conns_per_unit: usize,
+    wifi_mbps: f64,
+    lte_capacity_mbps: f64,
+    scheduler: SchedulerKind,
+) -> Population {
+    let mut pop = browse_population(
+        master_seed,
+        n_units,
+        conns_per_unit,
+        wifi_mbps,
+        lte_capacity_mbps,
+        scheduler,
+    );
+    // LTE legs sit at odd global indices (see `browse_population`).
+    let members: Vec<usize> = (0..n_units).map(|u| 2 * u + 1).collect();
+    pop.couplings.push(SharedBottleneck {
+        members,
+        capacity_bps: (lte_capacity_mbps * 1e6) as u64,
+        prop_delay: simnet::LTE_ONE_WAY,
+    });
+    pop
+}
+
+/// The ~1k-connection coupled browse population: 167 units × 6 conns
+/// contending on a common 50 Mbps LTE uplink (private 1 Mbps WiFi each).
+pub fn browse_1k_coupled(seed: u64) -> Population {
+    browse_coupled_population(seed, 167, 6, 1.0, 50.0, SchedulerKind::Ecf)
+}
+
+/// The ~10k-connection coupled browse population: 1667 units × 6 conns on
+/// a common 500 Mbps LTE backhaul. The benchmark scale — big enough that
+/// the monolithic engine's working set falls out of cache while each
+/// co-simulated group stays resident.
+pub fn browse_10k_coupled(seed: u64) -> Population {
+    browse_coupled_population(seed, 1667, 6, 1.0, 500.0, SchedulerKind::Ecf)
 }
 
 // ---------------------------------------------------------------------------
@@ -167,8 +235,23 @@ impl UnionFind {
 /// that any two units sharing a path (directly or transitively) are in the
 /// same group. Components are ordered by their smallest unit index, units
 /// ascending within each — a deterministic function of the population alone.
+///
+/// Couplings with a *positive* lookahead window do **not** union their
+/// members — that is the whole point of co-simulation: coupled units keep
+/// separate components and the window controller bridges them. A coupling
+/// whose window is zero (no propagation delay and an effectively infinite
+/// capacity) has no safe horizon, so its members are unioned and the
+/// population degrades to the collapsed single-engine run.
 pub fn partition(pop: &Population) -> Vec<Vec<usize>> {
     let mut uf = UnionFind::new(pop.paths.len());
+    for c in &pop.couplings {
+        if c.window_nanos() == 0 {
+            for w in c.members.windows(2) {
+                assert!(w[1] < pop.paths.len(), "coupling member {} out of range", w[1]);
+                uf.union(w[0] as u32, w[1] as u32);
+            }
+        }
+    }
     for unit in &pop.units {
         // All paths of a unit are one component: its conns share app state
         // (one browser queue), so the unit itself is indivisible.
@@ -350,7 +433,7 @@ pub fn digest_units(units: &[UnitReport]) -> u64 {
 
 /// Composes one [`BrowserApp`] per unit inside a single testbed, routing
 /// completions to the unit owning the connection.
-struct PopulationApp {
+pub(crate) struct PopulationApp {
     units: Vec<BrowserApp>,
     /// Engine-local connection index → slot in `units`.
     owner: Vec<usize>,
@@ -387,13 +470,28 @@ struct ShardOutcome {
     events: u64,
 }
 
-/// Run the units in `unit_idxs` (ascending global indices) as one engine,
-/// recycling `queue`. Returns per-unit reports and the recovered queue.
-fn run_shard(
+/// One shard's engine plus the metadata needed to extract per-unit
+/// reports. Built by [`build_shard`]; the plain sweep runs it straight to
+/// the horizon, the co-sim driver steps it window by window.
+pub(crate) struct ShardRun {
+    /// The shard engine.
+    pub(crate) tb: Testbed<PopulationApp>,
+    /// Global unit indices simulated here, ascending.
+    unit_idxs: Vec<usize>,
+    /// Per unit: (engine-local base connection index, connection count).
+    conn_ranges: Vec<(usize, usize)>,
+    /// Global path indices of this shard's local path universe, ascending
+    /// (local index `i` is `globals[i]`).
+    pub(crate) globals: Vec<usize>,
+}
+
+/// Build the units in `unit_idxs` (ascending global indices) into one
+/// engine, recycling `queue`, without running it.
+pub(crate) fn build_shard(
     pop: &Population,
     unit_idxs: &[usize],
     queue: EventQueue<Event>,
-) -> (ShardOutcome, EventQueue<Event>) {
+) -> ShardRun {
     // Local path universe: global indices used by this shard, ascending.
     let mut globals: Vec<usize> = unit_idxs
         .iter()
@@ -436,28 +534,40 @@ fn run_shard(
         out
     };
 
+    // The population scenario speaks global path indices on the global
+    // clock; this shard keeps the events for its own paths, remapped to
+    // local indices with order preserved.
+    let scenario = if pop.scenario.is_static() {
+        Scenario::default()
+    } else {
+        pop.scenario.retarget(|g| globals.binary_search(&g).ok())
+    };
+
     let cfg = TestbedConfig {
         paths,
         conns,
         seed: pop.seed,
         path_seeds: Some(path_seeds),
-        recorder: RecorderConfig { ooo_per_conn: true, ..RecorderConfig::default() },
-        scenario: Default::default(),
+        recorder: pop.recorder,
+        scenario,
         // Shard-internal telemetry stays off: conn/path ids are shard-local
         // and would mislead a merged trace. Sweep-level load-balance
         // counters are flushed by `run_sweep` instead.
         telemetry: TelemetryHandle::off(),
     };
-    let mut tb = Testbed::new_with_queue(cfg, PopulationApp { units: apps, owner }, queue);
-    tb.run_until(pop.horizon);
+    let tb = Testbed::new_with_queue(cfg, PopulationApp { units: apps, owner }, queue);
+    ShardRun { tb, unit_idxs: unit_idxs.to_vec(), conn_ranges, globals }
+}
 
-    let world = tb.world();
-    let reports = unit_idxs
+/// Extract per-unit reports from a (finished) shard engine.
+pub(crate) fn extract_reports(run: &ShardRun) -> Vec<UnitReport> {
+    let world = run.tb.world();
+    run.unit_idxs
         .iter()
-        .zip(&conn_ranges)
+        .zip(&run.conn_ranges)
         .enumerate()
         .map(|(slot, (&u, &(base, n)))| {
-            let app = &tb.app().units[slot];
+            let app = &run.tb.app().units[slot];
             UnitReport {
                 unit: u,
                 objects: app.objects.clone(),
@@ -470,13 +580,27 @@ fn run_shard(
                     .map(|r| ReqSummary::from_record(r, r.conn - base))
                     .collect(),
                 ooo_us_per_conn: (base..base + n)
-                    .map(|c| world.recorder.ooo_delays_us_per_conn[c].clone())
+                    .map(|c| {
+                        world.recorder.ooo_delays_us_per_conn.get(c).cloned().unwrap_or_default()
+                    })
                     .collect(),
             }
         })
-        .collect();
-    let events = tb.events_processed();
-    (ShardOutcome { reports, events }, tb.into_queue())
+        .collect()
+}
+
+/// Run the units in `unit_idxs` (ascending global indices) as one engine,
+/// recycling `queue`. Returns per-unit reports and the recovered queue.
+fn run_shard(
+    pop: &Population,
+    unit_idxs: &[usize],
+    queue: EventQueue<Event>,
+) -> (ShardOutcome, EventQueue<Event>) {
+    let mut run = build_shard(pop, unit_idxs, queue);
+    run.tb.run_until(pop.horizon);
+    let reports = extract_reports(&run);
+    let events = run.tb.events_processed();
+    (ShardOutcome { reports, events }, run.tb.into_queue())
 }
 
 // ---------------------------------------------------------------------------
@@ -528,7 +652,7 @@ impl SweepReport {
 
 /// Flush per-sweep load-balance counters: totals summed, imbalance ratios
 /// (max/min, permille) kept as running maxima across sweeps.
-fn flush_load_balance(tel: &TelemetryHandle, events: &[u64], wall_ns: &[u64]) {
+pub(crate) fn flush_load_balance(tel: &TelemetryHandle, events: &[u64], wall_ns: &[u64]) {
     if !tel.is_enabled() || events.is_empty() {
         return;
     }
@@ -553,9 +677,36 @@ fn flush_load_balance(tel: &TelemetryHandle, events: &[u64], wall_ns: &[u64]) {
 /// `max_shards = 1` is the monolithic reference run; any other value
 /// produces the same [`SweepReport::digest`]. Shard workers recycle engine
 /// allocations (event-queue slabs) through a shared pool, so a sweep of
-/// many small shards performs one warm-up per worker, not per shard.
+/// many small shards performs one warm-up per shard worker, not per shard.
+///
+/// Populations with a positive-window coupling dispatch to the co-sim
+/// lockstep driver ([`cosim::run_coupled`]); populations that cannot shard
+/// at all (literal path sharing, zero-window couplings) run collapsed on
+/// one engine, and that collapse is *reported* — a `shard_collapses`
+/// telemetry tick plus a log line naming the reason — instead of silent.
 pub fn run_sweep(pop: &Population, opts: &SweepOptions) -> SweepReport {
     let shards = plan_shards(pop, opts.max_shards);
+    if shards.len() == 1 && pop.units.len() > 1 && opts.max_shards != 1 {
+        let reason = if pop
+            .couplings
+            .iter()
+            .any(|c| c.members.len() > 1 && c.window_nanos() == 0)
+        {
+            "zero-lookahead coupling (no safe horizon)"
+        } else {
+            "units literally share a path"
+        };
+        eprintln!(
+            "sharding: population of {} units collapsed to one engine: {reason}",
+            pop.units.len()
+        );
+        if opts.telemetry.is_enabled() {
+            opts.telemetry.add(Counter::ShardCollapses, 1);
+        }
+    }
+    if pop.couplings.iter().any(|c| c.window_nanos() > 0) {
+        return cosim::run_coupled(pop, opts);
+    }
     let pool: Mutex<Vec<EventQueue<Event>>> = Mutex::new(Vec::new());
 
     let run_one = |unit_idxs: Vec<usize>| {

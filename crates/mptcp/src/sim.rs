@@ -387,12 +387,17 @@ impl World {
         let n_subs = self.conns[conn].sender.subflows.len();
         let req = self.recorder.new_request(conn, bytes, segs, now, n_subs);
         let path = self.conns[conn].primary_path;
-        // Requests ride the primary path if it is up, else any live path —
-        // a real client retries the GET over the surviving interface.
+        // Requests ride the primary path if it is up, else any live path of
+        // *this connection* — a real client retries the GET over its own
+        // surviving interface, never over some other host's radio. (Sharded
+        // populations rely on the conn-local scan: a whole-world scan would
+        // pick a foreign unit's path in the monolith and break partition
+        // invariance the moment an outage fires.)
         let path = if self.path_up[path] {
             path
         } else {
-            match (0..self.paths.len()).find(|&p| self.path_up[p]) {
+            let mut own = self.conns[conn].sender.subflows.iter().map(|sf| sf.path);
+            match own.find(|&p| self.path_up[p]) {
                 Some(p) => p,
                 // Total blackout: the request is lost (the application will
                 // observe a stall until it retries on recovery).
@@ -646,6 +651,13 @@ impl World {
                 .filter(|(_, sf)| sf.path == path)
                 .map(|(i, _)| i)
                 .collect();
+            // Connections with no subflow on this path are untouched — no
+            // capacity of theirs changed, so they get no extra send poll.
+            // (Sharded populations rely on this: a path event is then a
+            // no-op for every unit not on the path, wherever it runs.)
+            if subs.is_empty() {
+                continue;
+            }
             for sub in subs {
                 if up {
                     self.conns[c].sender.on_subflow_up(sub);
@@ -820,6 +832,10 @@ impl<A: Application> Testbed<A> {
         self.engine.as_ref().expect("testbed engine taken")
     }
 
+    fn eng_mut(&mut self) -> &mut Engine<Sim<A>> {
+        self.engine.as_mut().expect("testbed engine taken")
+    }
+
     /// Run until `deadline` (or the event queue drains).
     pub fn run_until(&mut self, deadline: Time) -> RunOutcome {
         self.engine.as_mut().expect("testbed engine taken").run_until(deadline)
@@ -838,6 +854,13 @@ impl<A: Application> Testbed<A> {
     /// The world (measurements, connections, paths).
     pub fn world(&self) -> &World {
         &self.eng().model.world
+    }
+
+    /// Mutable world access, for co-simulation drivers that re-shape
+    /// links *between* lockstep windows (never during event dispatch —
+    /// the engine is quiescent when this is called).
+    pub fn world_mut(&mut self) -> &mut World {
+        &mut self.eng_mut().model.world
     }
 
     /// The application.

@@ -200,6 +200,39 @@ impl Scenario {
         self
     }
 
+    /// Re-target a population-level scenario (written against *global*
+    /// path indices) onto one shard's local index space. `map` returns
+    /// the local index for a global one, or `None` when the path lives
+    /// on another shard — those events/processes are dropped entirely.
+    ///
+    /// Order is preserved, so a retargeted scenario compiles to the same
+    /// relative (time, insertion) sequence as the monolith restricted to
+    /// the surviving paths — the property the sharded-digest contract
+    /// leans on (DESIGN.md §13).
+    pub fn retarget(&self, map: impl Fn(usize) -> Option<usize>) -> Scenario {
+        let events = self
+            .events
+            .iter()
+            .filter_map(|ev| map(ev.path).map(|path| ControlEvent { path, ..*ev }))
+            .collect();
+        let processes = self
+            .processes
+            .iter()
+            .filter_map(|p| match p {
+                Process::RandomRates { path, seed, mean_interval, rates_mbps, horizon } => {
+                    map(*path).map(|path| Process::RandomRates {
+                        path,
+                        seed: *seed,
+                        mean_interval: *mean_interval,
+                        rates_mbps: rates_mbps.clone(),
+                        horizon: *horizon,
+                    })
+                }
+            })
+            .collect();
+        Scenario { events, processes }
+    }
+
     /// Expand all processes and return every event sorted by time. The
     /// sort is stable: same-time events fire in insertion order (scripted
     /// events before process expansions).
@@ -385,6 +418,38 @@ mod tests {
                 .outage(1, Time::from_secs(100), Time::from_secs(130))
         };
         assert_eq!(mk().compile(), mk().compile());
+    }
+
+    #[test]
+    fn retarget_filters_and_remaps_preserving_order() {
+        let s = Scenario::new()
+            .rate_mbps(Time::from_secs(1), 4, 2.0)
+            .outage(2, Time::from_secs(5), Time::from_secs(6))
+            .loss(Time::from_secs(1), 7, LossModel::Bernoulli(0.01))
+            .random_rates(4, 9, Duration::from_secs(40), &[0.3, 8.6], Time::from_secs(60))
+            .random_rates(7, 9, Duration::from_secs(40), &[0.3, 8.6], Time::from_secs(60));
+        // Shard owns global paths {4, 2} as locals {0, 1}.
+        let local = s.retarget(|g| match g {
+            4 => Some(0),
+            2 => Some(1),
+            _ => None,
+        });
+        assert_eq!(local.events.len(), 3);
+        assert_eq!(local.events[0].path, 0);
+        assert_eq!(local.events[0].action, Action::RateBps(2_000_000));
+        assert_eq!(local.events[1].path, 1);
+        assert_eq!(local.events[1].action, Action::PathUp(false));
+        assert_eq!(local.events[2].path, 1);
+        assert_eq!(local.events[2].action, Action::PathUp(true));
+        assert_eq!(local.processes.len(), 1);
+        match &local.processes[0] {
+            Process::RandomRates { path, seed, .. } => {
+                assert_eq!(*path, 0);
+                assert_eq!(*seed, 9); // process seed survives the remap
+            }
+        }
+        // Identity retarget is a no-op.
+        assert_eq!(s.retarget(Some), s);
     }
 
     #[test]

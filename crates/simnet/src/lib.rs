@@ -61,7 +61,7 @@ pub use arena::{Arena, ArenaIdx};
 pub use delivery::DeliveryQueue;
 pub use engine::{Engine, Model, RunOutcome};
 pub use wheel::EventQueue;
-pub use link::{Link, LinkConfig, LinkStats, Verdict};
+pub use link::{serialization_nanos, Link, LinkConfig, LinkStats, Verdict};
 pub use loss::{GilbertElliott, LossModel};
 pub use path::{
     path_seed, Path, PathConfig, LTE_ONE_WAY, SHAPED_QUEUE_BYTES, WIFI_ONE_WAY,

@@ -130,6 +130,18 @@ fn serialization_recip(rate_bps: u64) -> u128 {
     (BIT_NANOS_PER_BYTE << RECIP_SHIFT).div_ceil(rate)
 }
 
+/// Exact serialization delay of `wire_bytes` at `rate_bps`:
+/// `floor(bytes × 8e9 / rate)` nanoseconds — the same quantity a live
+/// [`Link`] computes through its Q32 reciprocal. Exposed for *horizon math*:
+/// conservative co-simulation derives its lookahead window from a
+/// cross-boundary link's propagation delay plus this serialization floor,
+/// and the window must be exact (an optimistic horizon would deliver a
+/// boundary message into an engine's past).
+pub fn serialization_nanos(rate_bps: u64, wire_bytes: u32) -> u64 {
+    let exact = u128::from(wire_bytes) * BIT_NANOS_PER_BYTE / u128::from(rate_bps.max(1));
+    u64::try_from(exact).unwrap_or(u64::MAX)
+}
+
 /// One direction of a network path. See the module docs.
 pub struct Link {
     cfg: LinkConfig,
@@ -159,6 +171,11 @@ pub struct Link {
     deterministic: bool,
     rng: Rng,
     stats: LinkStats,
+    /// Bytes offered since the last [`Link::take_offered_bytes`] — the
+    /// windowed demand signal a co-simulation contention controller divides
+    /// shared capacity by. Counted on every `enqueue`, drops included:
+    /// demand on a bottleneck exists whether or not the packet survived.
+    offered_bytes: u64,
     /// Telemetry sink (off by default) plus this link's trace identity.
     tel: TelemetryHandle,
     tel_path: u16,
@@ -195,6 +212,7 @@ impl Link {
             deterministic,
             rng: Rng::seed_from_u64(seed),
             stats: LinkStats::default(),
+            offered_bytes: 0,
             tel: TelemetryHandle::off(),
             tel_path: 0,
             tel_dir: LinkDir::Forward,
@@ -258,6 +276,14 @@ impl Link {
         self.stats
     }
 
+    /// Bytes offered to the link since the last call, resetting the
+    /// accumulator — the per-window load report of a co-simulated shared
+    /// bottleneck (see [`serialization_nanos`] for the matching horizon
+    /// math). Plain-field accounting: reading it never perturbs the link.
+    pub fn take_offered_bytes(&mut self) -> u64 {
+        std::mem::take(&mut self.offered_bytes)
+    }
+
     /// Bytes currently waiting in (or being serialized out of) the queue.
     pub fn queued_bytes(&mut self, now: Time) -> u64 {
         self.expire(now);
@@ -306,6 +332,7 @@ impl Link {
 
     /// Offer a packet of `wire_bytes` to the link at time `now`.
     pub fn enqueue(&mut self, now: Time, wire_bytes: u32) -> Verdict {
+        self.offered_bytes += u64::from(wire_bytes);
         self.expire(now);
         // Hot path: deterministic links (no loss, no jitter) skip both RNG
         // branches. The stochastic path below consumes the RNG in exactly
@@ -564,6 +591,39 @@ mod tests {
         }
         println!("lossy/jittery verdict digest: {d:#018x}");
         assert_eq!(d, 0xab2a_a11c_9c46_fcc3);
+    }
+
+    #[test]
+    fn offered_bytes_counts_demand_including_drops() {
+        let mut l = mk(1.0, 5, u64::from(MTU) * 2);
+        l.enqueue(Time::ZERO, MTU);
+        l.enqueue(Time::ZERO, MTU);
+        assert_eq!(l.enqueue(Time::ZERO, MTU), Verdict::DropQueue);
+        assert_eq!(l.take_offered_bytes(), u64::from(MTU) * 3);
+        // The take resets the accumulator: next window counts fresh demand.
+        assert_eq!(l.take_offered_bytes(), 0);
+        l.enqueue(Time::from_secs(10), MTU);
+        assert_eq!(l.take_offered_bytes(), u64::from(MTU));
+    }
+
+    #[test]
+    fn serialization_floor_matches_link_math() {
+        // The free helper must agree exactly with the Q32 path for any
+        // (rate, size) — co-sim horizon math depends on it.
+        for &rate in &[1u64, 999, 1_000_000, 8_600_000, 1_000_000_000] {
+            let mut cfg = LinkConfig::shaped(1.0, Duration::ZERO, u64::MAX);
+            cfg.rate_bps = rate;
+            let l = Link::new(cfg, 0);
+            for &bytes in &[1u32, 72, 300, 1500, 65_535] {
+                assert_eq!(
+                    Duration::from_nanos(super::serialization_nanos(rate, bytes)),
+                    l.serialization(bytes),
+                    "rate={rate} bytes={bytes}"
+                );
+            }
+        }
+        // Degenerate: an effectively infinite rate has a zero floor.
+        assert_eq!(super::serialization_nanos(u64::MAX, 1500), 0);
     }
 
     #[test]

@@ -57,11 +57,28 @@ pub enum Counter {
     /// Worst observed per-sweep shard wall-time imbalance, in permille
     /// (same ratio over per-shard wall-ns); running max across sweeps.
     ShardWallImbalancePermille,
+    /// Co-simulation lockstep windows completed (one per global sync round
+    /// across all engine groups).
+    CosimRounds,
+    /// Boundary messages exchanged between co-simulated engine groups
+    /// (one per shared-bottleneck member per sync round).
+    CosimBoundaryMsgs,
+    /// Wall-clock nanoseconds engine groups spent stalled at the window
+    /// barrier waiting for the slowest group (sum over groups of
+    /// `slowest − own` per round).
+    CosimStallNs,
+    /// Worst observed per-round engine-group wall-time imbalance, in
+    /// permille (`max * 1000 / min` over per-group round wall-ns);
+    /// running max across rounds and sweeps.
+    CosimRoundImbalancePermille,
+    /// Populations that collapsed to a single engine because no safe
+    /// lookahead exists (literal link sharing or a zero-window coupling).
+    ShardCollapses,
 }
 
 impl Counter {
     /// Number of counters.
-    pub const COUNT: usize = 20;
+    pub const COUNT: usize = 25;
 
     /// Every counter, in stable report order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -85,6 +102,11 @@ impl Counter {
         Counter::ShardWallNs,
         Counter::ShardEventsImbalancePermille,
         Counter::ShardWallImbalancePermille,
+        Counter::CosimRounds,
+        Counter::CosimBoundaryMsgs,
+        Counter::CosimStallNs,
+        Counter::CosimRoundImbalancePermille,
+        Counter::ShardCollapses,
     ];
 
     /// Stable snake_case name for reports and trace digests.
@@ -110,6 +132,11 @@ impl Counter {
             Counter::ShardWallNs => "shard_wall_ns",
             Counter::ShardEventsImbalancePermille => "shard_events_imbalance_permille",
             Counter::ShardWallImbalancePermille => "shard_wall_imbalance_permille",
+            Counter::CosimRounds => "cosim_sync_rounds",
+            Counter::CosimBoundaryMsgs => "cosim_boundary_msgs",
+            Counter::CosimStallNs => "cosim_stall_ns",
+            Counter::CosimRoundImbalancePermille => "cosim_round_imbalance_permille",
+            Counter::ShardCollapses => "shard_collapses",
         }
     }
 }

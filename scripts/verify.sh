@@ -61,6 +61,7 @@ for want in (
     "sim_throughput/browse_6conn",
     "sim_throughput/browse_24conn",
     "sim_throughput/browse_1k",
+    "sim_throughput/quic_web_107stream",
 ) + extra:
     if want not in names:
         sys.exit(f"verify.sh: {label}: missing benchmark {want}")
@@ -74,9 +75,9 @@ print(f"verify.sh: {label}: ok ({len(results)} results)")
 PY
 }
 
-check_bench_json "$tmp_json" "smoke bench JSON" \
-    "sim_throughput/quic_web_107stream"
-check_bench_json "BENCH.json" "committed BENCH.json"
+check_bench_json "$tmp_json" "smoke bench JSON"
+check_bench_json "BENCH.json" "committed BENCH.json" \
+    "sharded/browse_coupled" "sharded/browse_coupled_mono"
 
 echo "== perf gate: sim_throughput vs committed BENCH.json =="
 # A 1-iteration smoke run is not a measurement, so the gate only runs on a
@@ -192,6 +193,25 @@ for transport in "quic" "mptcp"; do
 done
 [ -s results/quic_web.txt ] \
     || { echo "verify.sh: results/quic_web.txt missing or empty" >&2; exit 1; }
+
+echo "== coupled co-sim smoke (repro sweep --coupled, quick) =="
+# A shared-bottleneck population must actually span engine groups in
+# lockstep (DESIGN.md §13): the run reports its lookahead window and
+# sync-round/boundary-message telemetry, and every unit still finishes.
+coupled_out="$(cargo run --offline --release -p experiments --bin repro -- \
+    sweep --coupled --quick 2>/dev/null)"
+for field in "window:" "sync rounds:" "boundary:" "digest:"; do
+    echo "$coupled_out" | grep -q "$field" \
+        || { echo "verify.sh: coupled sweep output lacks $field" >&2; exit 1; }
+done
+shards="$(echo "$coupled_out" | awk '/^shards:/ {print $2}')"
+[ "${shards:-0}" -ge 2 ] \
+    || { echo "verify.sh: coupled sweep ran on $shards engine group(s)," \
+         "expected >= 2 (co-sim did not engage)" >&2; exit 1; }
+rounds="$(echo "$coupled_out" | awk '/^sync rounds:/ {print $3}')"
+[ "${rounds:-0}" -ge 1 ] \
+    || { echo "verify.sh: coupled sweep reports no sync rounds" >&2; exit 1; }
+echo "verify.sh: coupled co-sim smoke ok ($shards groups, $rounds rounds)"
 
 echo "== experiment-matrix smoke (repro matrix, quick, twice) =="
 # Cold run into a throwaway cache, then a warm re-run: the second pass must
