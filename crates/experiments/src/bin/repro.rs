@@ -209,11 +209,11 @@ fn run_sweep_cmd(
         if coupled { " (coupled)" } else { "" },
         pop.paths.len()
     );
-    let tel = if coupled {
-        telemetry::TelemetryHandle::enabled()
-    } else {
-        telemetry::TelemetryHandle::off()
-    };
+    // Always enabled: the wheel flushes its fast-forward / batching
+    // counters into this handle at testbed teardown, and seeing them is
+    // half the point of this command. The ring-emit overhead taints the
+    // events/s line slightly; BENCH.json is the perf source of truth.
+    let tel = telemetry::TelemetryHandle::enabled();
     let started = std::time::Instant::now();
     let report = run_sweep(&pop, &SweepOptions { max_shards, workers, telemetry: tel.clone() });
     let wall = started.elapsed().as_secs_f64();
@@ -234,6 +234,16 @@ fn run_sweep_cmd(
     }
     println!("events:      {events}");
     println!("events/s:    {:.0}", events as f64 / wall.max(1e-9));
+    println!(
+        "idle ff:     {} jumps, {:.1} ms skipped",
+        tel.counter(Counter::FfJumps),
+        tel.counter(Counter::FfSkippedNs) as f64 / 1e6
+    );
+    println!(
+        "batching:    {} batched deliveries, longest batch {}",
+        tel.counter(Counter::BatchDeliveries),
+        tel.counter(Counter::BatchMaxLen)
+    );
     println!("pages done:  {loaded}/{units}");
     println!("digest:      {}", testkit::digest::hex16(report.digest));
     eprintln!("== sweep done in {wall:.1}s ==");

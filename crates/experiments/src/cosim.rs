@@ -68,7 +68,7 @@ use telemetry::{Counter, TelemetryHandle};
 use crate::common::{default_workers, Effort, ENV_WORKERS};
 use crate::sharding::{
     browse_coupled_population, build_shard, digest_units, extract_reports, flush_load_balance,
-    plan_shards, Population, ShardRun, SweepOptions, SweepReport, UnitReport,
+    flush_wheel_stats, plan_shards, Population, ShardRun, SweepOptions, SweepReport, UnitReport,
 };
 
 /// An explicit cross-shard coupling: `members` are *global* path indices
@@ -277,6 +277,7 @@ impl CoupledRun {
         self.account_round();
 
         let multi = self.groups.len() > 1;
+        let mut all_idle = true;
         let CoupledRun { groups, couplings, msgs, .. } = self;
         for c in couplings.iter() {
             msgs.clear();
@@ -290,6 +291,7 @@ impl CoupledRun {
             // group produced which message.
             msgs.sort_unstable_by_key(|m| (m.time, m.seq));
             let active = msgs.iter().filter(|m| m.load > 0).count() as u64;
+            all_idle &= active == 0;
             let share = c
                 .capacity_bps
                 .checked_div(active)
@@ -308,6 +310,29 @@ impl CoupledRun {
         self.k += 1;
         if t_ns >= self.horizon_ns || self.groups.iter().all(|g| g.done) {
             self.finished = true;
+        } else if all_idle {
+            // Idle fast-forward across windows (DESIGN.md §14): this round
+            // offered zero load on every coupling, so each member's rate
+            // was just (re)set to the full capacity — another all-zero
+            // round would re-apply the identical rates, a provable no-op.
+            // Every window before the earliest pending event (lower-bounded
+            // by the wheels' occupancy scan, never the true event time or
+            // later) therefore contains no events for any group and no
+            // controller effect; jump `k` past them instead of grinding
+            // one empty barrier per window. Skipped rounds are exactly the
+            // no-op rounds, so unit reports and digests are unchanged at
+            // any group count — only the rounds/boundary-msgs telemetry
+            // records fewer (all no-op) exchanges.
+            let next_pending = self
+                .groups
+                .iter()
+                .filter(|g| !g.done)
+                .filter_map(|g| g.run.tb.next_event_time())
+                .map(|t| t.as_nanos())
+                .min();
+            if let Some(e) = next_pending {
+                self.k = e.min(self.horizon_ns).div_ceil(self.window_ns).max(self.k);
+            }
         }
         !self.finished
     }
@@ -370,6 +395,9 @@ impl CoupledRun {
         for g in &self.groups {
             shard_events.push(g.run.tb.events_processed());
             shard_wall_ns.push(g.wall_ns);
+            // Group engines carry shard-local telemetry (off); their wheel
+            // diagnostics surface through the sweep-level handle here.
+            flush_wheel_stats(&self.telemetry, g.run.tb.queue());
             for r in extract_reports(&g.run) {
                 let slot = r.unit;
                 assert!(units[slot].is_none(), "unit {slot} reported twice");

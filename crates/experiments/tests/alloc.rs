@@ -62,12 +62,14 @@ fn steady_state_deliver_loop_allocates_nothing() {
 
     tb.run_until(Time::from_secs(10));
     let events_before = tb.events_processed();
+    let batched_before = tb.batched_deliveries();
     let allocs_before = ALLOCS.load(Ordering::Relaxed);
 
     tb.run_until(Time::from_secs(30));
 
     let allocs = ALLOCS.load(Ordering::Relaxed) - allocs_before;
     let events = tb.events_processed() - events_before;
+    let batched = tb.batched_deliveries() - batched_before;
 
     // Make sure the window actually exercised the hot loop: twenty seconds
     // of a ~18 Mbps aggregate download is tens of thousands of deliveries,
@@ -75,6 +77,14 @@ fn steady_state_deliver_loop_allocates_nothing() {
     assert!(
         events > 20_000,
         "steady-state window processed only {events} events; workload mis-sized"
+    );
+    // ... including the batched claim path: a full-flight bulk download on
+    // FIFO links must dispatch some deliveries inline, or this audit has
+    // silently stopped covering the batching fast path.
+    assert!(
+        batched > 0,
+        "steady-state window dispatched no batched deliveries; audit no \
+         longer covers the claim path"
     );
     assert_eq!(
         allocs, 0,

@@ -460,15 +460,21 @@ impl World {
         // the scheduler snapshot. `Link::queued_bytes` expires the queue at
         // `now` first — a mutation the next enqueue/expiry at a later time
         // would perform anyway, so sampling here cannot change link behavior
-        // (the golden digests pin this).
-        for si in 0..self.conns[conn].sender.subflows.len() {
-            let path_idx = self.conns[conn].sender.subflows[si].path;
-            let qb = if self.path_up[path_idx] {
-                self.paths[path_idx].fwd.queued_bytes(now)
-            } else {
-                0
-            };
-            self.conns[conn].sender.subflows[si].link_queue_bytes = qb;
+        // (the golden digests pin this). Skipped when nothing is waiting to
+        // be assigned: `link_queue_bytes` is only consulted by the phase-2
+        // scheduler select, which never runs with zero unassigned segments
+        // (reinjection reads srtt/cwnd only), so a stale sample is unread
+        // and the deferred expiry is performed by the next enqueue anyway.
+        if self.conns[conn].sender.unassigned_segs() > 0 {
+            for si in 0..self.conns[conn].sender.subflows.len() {
+                let path_idx = self.conns[conn].sender.subflows[si].path;
+                let qb = if self.path_up[path_idx] {
+                    self.paths[path_idx].fwd.queued_bytes(now)
+                } else {
+                    0
+                };
+                self.conns[conn].sender.subflows[si].link_queue_bytes = qb;
+            }
         }
         let mut plan = std::mem::take(&mut self.plan_buf);
         plan.clear();
@@ -747,22 +753,42 @@ impl<A: Application> Model for Sim<A> {
             }
             Event::FwdDeliver { path } => {
                 let p = path as usize;
-                if let Some((payload, next)) = self.world.fwd_inflight[p].pop() {
-                    // Re-arm the wakeup for the new head *before* dispatching:
-                    // handling the payload may park more deliveries behind it.
-                    if let Some((at, s)) = next {
-                        q.schedule_reserved(at, s, Event::FwdDeliver { path });
-                    }
+                if let Some((payload, mut next)) = self.world.fwd_inflight[p].pop() {
                     self.dispatch(now, payload, q);
+                    // Batched drain (see `simnet::delivery` docs): keep
+                    // dispatching parked heads while the queue proves that
+                    // nothing else — nor the run deadline — comes first.
+                    // Each claim replaces a wakeup the unbatched engine
+                    // would schedule and immediately pop, so order and
+                    // event counts are bit-identical.
+                    while let Some((at, s)) = next {
+                        if !q.claim_dispatch(at, s) {
+                            q.schedule_reserved(at, s, Event::FwdDeliver { path });
+                            break;
+                        }
+                        let (payload, n) = self.world.fwd_inflight[p]
+                            .pop()
+                            .expect("claimed delivery vanished");
+                        self.dispatch(at, payload, q);
+                        next = n;
+                    }
                 }
             }
             Event::RevDeliver { path } => {
                 let p = path as usize;
-                if let Some((payload, next)) = self.world.rev_inflight[p].pop() {
-                    if let Some((at, s)) = next {
-                        q.schedule_reserved(at, s, Event::RevDeliver { path });
-                    }
+                if let Some((payload, mut next)) = self.world.rev_inflight[p].pop() {
                     self.dispatch(now, payload, q);
+                    while let Some((at, s)) = next {
+                        if !q.claim_dispatch(at, s) {
+                            q.schedule_reserved(at, s, Event::RevDeliver { path });
+                            break;
+                        }
+                        let (payload, n) = self.world.rev_inflight[p]
+                            .pop()
+                            .expect("claimed delivery vanished");
+                        self.dispatch(at, payload, q);
+                        next = n;
+                    }
                 }
             }
             Event::DelAck { conn, sub } => {
@@ -851,6 +877,26 @@ impl<A: Application> Testbed<A> {
         self.eng().processed()
     }
 
+    /// A lower bound on the time of the next pending event (`None` when
+    /// drained). Read-only — safe for a co-sim driver to poll between
+    /// lockstep windows without perturbing engine state.
+    pub fn next_event_time(&self) -> Option<Time> {
+        self.eng().next_event_time()
+    }
+
+    /// Deliveries dispatched inline via batched claims so far (diagnostic;
+    /// a subset of [`Testbed::events_processed`]).
+    pub fn batched_deliveries(&self) -> u64 {
+        self.eng().queue().batch_deliveries()
+    }
+
+    /// Read-only view of the event queue, for drivers that aggregate its
+    /// diagnostics across engines (the coupled sweep flushes fast-forward /
+    /// batching counters from live groups at teardown).
+    pub fn queue(&self) -> &EventQueue<Event> {
+        self.eng().queue()
+    }
+
     /// The world (measurements, connections, paths).
     pub fn world(&self) -> &World {
         &self.eng().model.world
@@ -878,10 +924,11 @@ impl<A: Application> Testbed<A> {
     }
 }
 
-/// Flush the event-queue diagnostics (cascade count, peak depth) to the
-/// telemetry counters. Done once at teardown like the connection decision
-/// counters: the queue keeps plain fields on its hot path and the sink sees
-/// the totals when the run is over.
+/// Flush the event-queue diagnostics (cascade count, peak depth,
+/// fast-forward and batch-delivery totals) to the telemetry counters. Done
+/// once at teardown like the connection decision counters: the queue keeps
+/// plain fields on its hot path and the sink sees the totals when the run
+/// is over.
 fn flush_queue_stats<A: Application>(engine: &Engine<Sim<A>>) {
     let tel = &engine.model.world.tel;
     if !tel.is_enabled() {
@@ -890,6 +937,10 @@ fn flush_queue_stats<A: Application>(engine: &Engine<Sim<A>>) {
     let q = engine.queue();
     tel.add(Counter::QueueCascades, q.cascaded_total());
     tel.add(Counter::QueuePeakDepth, q.peak_len() as u64);
+    tel.add(Counter::FfJumps, q.ff_jumps());
+    tel.add(Counter::FfSkippedNs, q.ff_skipped_ns());
+    tel.add(Counter::BatchDeliveries, q.batch_deliveries());
+    tel.set_max(Counter::BatchMaxLen, q.batch_max_len());
 }
 
 impl<A: Application> Drop for Testbed<A> {

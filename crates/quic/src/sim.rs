@@ -471,21 +471,39 @@ impl<A: TransportApp> Model for QuicSim<A> {
             }
             Event::FwdDeliver { path } => {
                 let p = path as usize;
-                if let Some((payload, next)) = self.world.fwd_inflight[p].pop() {
-                    // Re-arm for the new head *before* dispatching.
-                    if let Some((at, s)) = next {
-                        q.schedule_reserved(at, s, Event::FwdDeliver { path });
-                    }
+                if let Some((payload, mut next)) = self.world.fwd_inflight[p].pop() {
                     self.dispatch(now, p, payload, q);
+                    // Batched drain, same contract as the mptcp sim: claim
+                    // each parked head only when nothing else pending (nor
+                    // the run deadline) orders before it.
+                    while let Some((at, s)) = next {
+                        if !q.claim_dispatch(at, s) {
+                            q.schedule_reserved(at, s, Event::FwdDeliver { path });
+                            break;
+                        }
+                        let (payload, n) = self.world.fwd_inflight[p]
+                            .pop()
+                            .expect("claimed delivery vanished");
+                        self.dispatch(at, p, payload, q);
+                        next = n;
+                    }
                 }
             }
             Event::RevDeliver { path } => {
                 let p = path as usize;
-                if let Some((payload, next)) = self.world.rev_inflight[p].pop() {
-                    if let Some((at, s)) = next {
-                        q.schedule_reserved(at, s, Event::RevDeliver { path });
-                    }
+                if let Some((payload, mut next)) = self.world.rev_inflight[p].pop() {
                     self.dispatch(now, p, payload, q);
+                    while let Some((at, s)) = next {
+                        if !q.claim_dispatch(at, s) {
+                            q.schedule_reserved(at, s, Event::RevDeliver { path });
+                            break;
+                        }
+                        let (payload, n) = self.world.rev_inflight[p]
+                            .pop()
+                            .expect("claimed delivery vanished");
+                        self.dispatch(at, p, payload, q);
+                        next = n;
+                    }
                 }
             }
             Event::Pto { path } => {
@@ -578,6 +596,10 @@ fn flush_queue_stats<A: TransportApp>(engine: &Engine<QuicSim<A>>) {
     let q = engine.queue();
     tel.add(Counter::QueueCascades, q.cascaded_total());
     tel.add(Counter::QueuePeakDepth, q.peak_len() as u64);
+    tel.add(Counter::FfJumps, q.ff_jumps());
+    tel.add(Counter::FfSkippedNs, q.ff_skipped_ns());
+    tel.add(Counter::BatchDeliveries, q.batch_deliveries());
+    tel.set_max(Counter::BatchMaxLen, q.batch_max_len());
 }
 
 impl<A: TransportApp> Drop for QuicTestbed<A> {

@@ -23,9 +23,21 @@
 //! 1. On `Verdict::Deliver { arrival }`: reserve a seq, then
 //!    [`DeliveryQueue::push`]. If it returns a `(time, seq)` pair, the
 //!    queue was idle — schedule the wakeup under that reserved key.
-//! 2. On the wakeup event: [`DeliveryQueue::pop`] the head payload, and if
-//!    a next `(time, seq)` pair is returned, schedule the follow-up wakeup
-//!    *before* handling the payload (handling may push more deliveries).
+//! 2. On the wakeup event: [`DeliveryQueue::pop`] the head payload and
+//!    dispatch it, then *batch*: while the returned next `(time, seq)` key
+//!    wins an [`crate::EventQueue::claim_dispatch`] (nothing else pending
+//!    orders before it and the run deadline allows it), pop and dispatch it
+//!    in the same handler activation; on the first refused claim, schedule
+//!    the follow-up wakeup under that reserved key and stop.
+//!
+//! The batch loop is order-exact by construction: a claim succeeds only in
+//! the precise state where the unbatched engine's next pop would have been
+//! that wakeup, and the claim check re-runs after every dispatch so events
+//! scheduled *by* a batched delivery (app timers, cross-path ACKs)
+//! interrupt the batch just as they would have interleaved unbatched.
+//! Pushes during a dispatch stay consistent too: while later entries remain
+//! parked, `push` returns `None` (no wakeup to schedule), and once the
+//! queue drains the next push correctly requests a fresh wakeup.
 
 use std::collections::VecDeque;
 

@@ -75,9 +75,21 @@ impl<M: Model> Engine<M> {
         self.now
     }
 
-    /// Number of events handled so far.
+    /// Number of events handled so far, including deliveries dispatched in
+    /// batch via [`EventQueue::claim_dispatch`] — each claim stands for an
+    /// event the unbatched engine would have popped, so this count (which
+    /// feeds golden digests and bench throughput) is independent of whether
+    /// batching engaged.
     pub fn processed(&self) -> u64 {
-        self.processed
+        self.processed + self.queue.batch_deliveries()
+    }
+
+    /// A lower bound on the time of the next pending event (`None` when the
+    /// queue is drained). Read-only; see [`EventQueue::next_event_time`].
+    /// Co-sim drivers use it to fast-forward over windows in which no group
+    /// has anything to do.
+    pub fn next_event_time(&self) -> Option<Time> {
+        self.queue.next_event_time()
     }
 
     /// Read-only access to the queue, e.g. for diagnostics
@@ -94,8 +106,12 @@ impl<M: Model> Engine<M> {
     /// Run until `deadline` (inclusive). Events scheduled exactly at the
     /// deadline are processed.
     pub fn run_until(&mut self, deadline: Time) -> RunOutcome {
+        // Claims (batched dispatches inside model handlers) are bounded by
+        // the same deadline as pops, so a batch can never cross a co-sim
+        // window barrier.
+        self.queue.set_run_deadline(deadline);
         loop {
-            if self.processed >= self.event_budget {
+            if self.processed + self.queue.batch_deliveries() >= self.event_budget {
                 // Budget exhaustion only reports when another event would
                 // actually have run before the deadline.
                 return match self.queue.peek_time() {
@@ -220,6 +236,67 @@ mod tests {
         eng2.queue_mut().schedule(Time::from_millis(1), 100);
         eng2.run_to_completion();
         assert_eq!(eng2.model.seen, first);
+    }
+
+    /// The batching pattern: each event chains the next one 1 ms later and
+    /// claims it inline when the queue allows (events stop at id 3).
+    struct Claimer {
+        seen: Vec<(Time, u32)>,
+        claimed: u32,
+    }
+
+    impl Model for Claimer {
+        type Event = u32;
+        fn handle(&mut self, now: Time, ev: u32, q: &mut EventQueue<u32>) {
+            let (mut now, mut ev) = (now, ev);
+            loop {
+                self.seen.push((now, ev));
+                if ev >= 3 {
+                    return;
+                }
+                let at = now + Duration::from_millis(1);
+                let seq = q.reserve_seq();
+                if q.claim_dispatch(at, seq) {
+                    self.claimed += 1;
+                    (now, ev) = (at, ev + 1);
+                    continue;
+                }
+                q.schedule_reserved(at, seq, ev + 1);
+                return;
+            }
+        }
+    }
+
+    #[test]
+    fn claims_counted_in_processed() {
+        let mut eng = Engine::new(Claimer { seen: vec![], claimed: 0 });
+        eng.queue_mut().schedule(Time::from_millis(1), 0);
+        assert_eq!(eng.run_to_completion(), RunOutcome::Drained);
+        let times: Vec<_> =
+            eng.model.seen.iter().map(|&(t, e)| (t.as_nanos() / 1_000_000, e)).collect();
+        assert_eq!(times, vec![(1, 0), (2, 1), (3, 2), (4, 3)]);
+        assert_eq!(eng.model.claimed, 3, "empty queue must allow every claim");
+        // One wheel pop + three claims: each claim stands for an event the
+        // unbatched engine would have popped, so all four count.
+        assert_eq!(eng.processed(), 4);
+    }
+
+    #[test]
+    fn run_deadline_clamps_claims() {
+        let mut eng = Engine::new(Claimer { seen: vec![], claimed: 0 });
+        eng.queue_mut().schedule(Time::from_millis(1), 0);
+        // The 3 ms successor lies past the 2.5 ms window: the batch must
+        // break there and fall back to a scheduled wakeup, exactly like the
+        // unbatched engine stopping at the barrier.
+        assert_eq!(eng.run_until(Time::from_micros(2_500)), RunOutcome::DeadlineReached);
+        assert_eq!(eng.model.seen.len(), 2);
+        assert_eq!(eng.model.claimed, 1);
+        assert_eq!(eng.now(), Time::from_micros(2_500));
+        // Resuming observes the parked event and re-batches the tail.
+        assert_eq!(eng.run_to_completion(), RunOutcome::Drained);
+        assert_eq!(eng.model.seen.len(), 4);
+        assert_eq!(eng.model.claimed, 2);
+        assert_eq!(eng.processed(), 4);
     }
 
     #[test]

@@ -366,7 +366,12 @@ impl Link {
             let max = crate::time::dur_nanos(self.cfg.jitter_max);
             arrival += Duration::from_nanos(self.rng.gen_range(0..=max));
         }
-        // FIFO: never hand out an arrival earlier than a previous one.
+        // FIFO: never hand out an arrival earlier than a previous one. The
+        // batched-delivery protocol leans on this clamp: `DeliveryQueue`
+        // parks arrivals in the order this method hands them out, and
+        // `EventQueue::claim_dispatch` may fast-forward its pop horizon to
+        // a parked head's `(time, seq)` — sound only because no later
+        // enqueue on the same link can produce an earlier arrival.
         if arrival < self.last_arrival {
             arrival = self.last_arrival;
         }

@@ -103,11 +103,25 @@ pub struct EventQueue<E> {
     ready_horizon: Time,
     /// Time of the last popped event; the clamp floor for new schedules.
     popped_horizon: Time,
+    /// Inclusive upper bound for [`EventQueue::claim_dispatch`]; the engine
+    /// sets it to the current `run_until` deadline so batched dispatches can
+    /// never cross a co-sim window barrier.
+    run_deadline: Time,
     len: usize,
     next_seq: u64,
     scheduled_total: u64,
     cascaded_total: u64,
     peak_len: usize,
+    /// Cursor advances that crossed at least one empty quantum (diagnostic).
+    ff_jumps: u64,
+    /// Total simulated dead air the cursor jumped over, in ns (diagnostic).
+    ff_skipped_ns: u64,
+    /// Events dispatched via [`EventQueue::claim_dispatch`] (diagnostic).
+    batch_claims: u64,
+    /// Consecutive claims since the last real pop (resets on pop).
+    claim_streak: u64,
+    /// Longest observed batch: head pop plus its consecutive claims.
+    batch_max: u64,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -131,11 +145,17 @@ impl<E> EventQueue<E> {
             cursor: 0,
             ready_horizon: Time::ZERO,
             popped_horizon: Time::ZERO,
+            run_deadline: Time::MAX,
             len: 0,
             next_seq: 0,
             scheduled_total: 0,
             cascaded_total: 0,
             peak_len: 0,
+            ff_jumps: 0,
+            ff_skipped_ns: 0,
+            batch_claims: 0,
+            claim_streak: 0,
+            batch_max: 0,
         }
     }
 
@@ -146,9 +166,10 @@ impl<E> EventQueue<E> {
     /// that runs many short simulations back to back pays the slab's growth
     /// once instead of once per shard.
     ///
-    /// Diagnostics (`scheduled_total`, `cascaded_total`, `peak_len`) restart
-    /// from zero: after a reset the queue is indistinguishable from
-    /// [`EventQueue::new`] except for its capacity.
+    /// Diagnostics (`scheduled_total`, `cascaded_total`, `peak_len`, and the
+    /// fast-forward/batch counters) restart from zero: after a reset the
+    /// queue is indistinguishable from [`EventQueue::new`] except for its
+    /// capacity.
     pub fn reset(&mut self) {
         // Drop pending payloads and rebuild the free list over the whole
         // slab; chaining every slot is O(capacity), the same order of work
@@ -168,11 +189,17 @@ impl<E> EventQueue<E> {
         self.cursor = 0;
         self.ready_horizon = Time::ZERO;
         self.popped_horizon = Time::ZERO;
+        self.run_deadline = Time::MAX;
         self.len = 0;
         self.next_seq = 0;
         self.scheduled_total = 0;
         self.cascaded_total = 0;
         self.peak_len = 0;
+        self.ff_jumps = 0;
+        self.ff_skipped_ns = 0;
+        self.batch_claims = 0;
+        self.claim_streak = 0;
+        self.batch_max = 0;
     }
 
     /// Slots currently backing the node slab (diagnostic for reuse tests).
@@ -281,12 +308,20 @@ impl<E> EventQueue<E> {
     /// distinguish via [`EventQueue::is_empty`]). This is the engine-loop
     /// primitive: one call replaces the peek-then-pop pair, so the ready
     /// front is located once per event instead of twice.
+    ///
+    /// The wheel walk is deadline-bounded: when every pending event lies
+    /// beyond `deadline` the cursor fast-forwards at most to the earliest
+    /// occupied slot and nothing is drained, so a queue holding only
+    /// far-future events (e.g. `Time::MAX` "never" sentinels) costs O(levels
+    /// × words) per call instead of a full cascade chase.
     pub fn pop_at_or_before(&mut self, deadline: Time) -> Option<(Time, E)> {
         if self.ready.is_empty() {
             if self.len == 0 {
                 return None;
             }
-            self.advance();
+            if !self.advance_within(deadline.as_nanos() >> QUANTUM_BITS) {
+                return None;
+            }
         }
         if self.ready.front().map(|e| e.0)? > deadline {
             return None;
@@ -294,7 +329,110 @@ impl<E> EventQueue<E> {
         let (at, _seq, event) = self.ready.pop_front()?;
         self.len -= 1;
         self.popped_horizon = at;
+        self.claim_streak = 0;
         Some((at, event))
+    }
+
+    /// Set the inclusive time bound for [`EventQueue::claim_dispatch`]. The
+    /// engine calls this on entry to `run_until` with the run deadline so a
+    /// batched dispatch can never cross it — in co-simulation the window
+    /// barrier `run_until(k·W)` must observe every event up to `k·W` and
+    /// nothing later, batched or not.
+    pub fn set_run_deadline(&mut self, deadline: Time) {
+        self.run_deadline = deadline;
+    }
+
+    /// Attempt to dispatch the *reserved* key `(at, seq)` directly, without
+    /// a schedule/pop round-trip through the wheel.
+    ///
+    /// Succeeds iff `at` is within the run deadline (see
+    /// [`EventQueue::set_run_deadline`]) **and** no pending event orders
+    /// before `(at, seq)` — i.e. exactly when an unbatched engine's very
+    /// next pop would have been this key. On success the queue state is as
+    /// if the event had been filed via [`EventQueue::schedule_reserved`] and
+    /// immediately popped: `popped_horizon` advances to `at` and the claim
+    /// is counted in [`EventQueue::batch_deliveries`]. On failure nothing
+    /// changes and the caller must `schedule_reserved` the event as usual.
+    ///
+    /// This is the batched-delivery primitive (see [`crate::DeliveryQueue`]):
+    /// a model holding the next parked delivery for a link direction asks
+    /// the queue whether anything else comes first, and if not dispatches it
+    /// in the same handler activation. The check re-runs per delivery, so an
+    /// event scheduled *by* a batched dispatch (an app timer, an ACK on the
+    /// other path) correctly interrupts the batch.
+    pub fn claim_dispatch(&mut self, at: Time, seq: u64) -> bool {
+        debug_assert!(seq < self.next_seq, "seq {seq} was never reserved");
+        debug_assert!(
+            at >= self.popped_horizon,
+            "claim in the past: at {at:?} < last popped {:?}",
+            self.popped_horizon
+        );
+        if at > self.run_deadline {
+            return false;
+        }
+        loop {
+            if let Some(front) = self.ready.front() {
+                if (front.0, front.1) < (at, seq) {
+                    return false;
+                }
+                break;
+            }
+            if self.len == 0 {
+                break;
+            }
+            // Drain up to the claim's quantum; a `false` return proves every
+            // pending event sits in a strictly later quantum than `at`.
+            if !self.advance_within(at.as_nanos() >> QUANTUM_BITS) {
+                break;
+            }
+        }
+        self.popped_horizon = at;
+        self.batch_claims += 1;
+        self.claim_streak += 1;
+        self.batch_max = self.batch_max.max(self.claim_streak + 1);
+        true
+    }
+
+    /// A lower bound on the time of the next pending event: exact when the
+    /// next event is already drained into `ready`, otherwise the start of
+    /// the earliest occupied wheel quantum (or the overflow minimum).
+    /// `None` iff the queue is empty.
+    ///
+    /// Read-only — unlike [`EventQueue::peek_time`] this never moves the
+    /// cursor or drains a slot, so a co-sim driver can poll every engine in
+    /// a lockstep group without perturbing wheel state. The bound is safe
+    /// for idle fast-forward: the true next event never fires before it.
+    pub fn next_event_time(&self) -> Option<Time> {
+        if let Some(front) = self.ready.front() {
+            return Some(front.0);
+        }
+        if self.len == 0 {
+            return None;
+        }
+        let mut q = u64::MAX;
+        let cur0 = (self.cursor & (SLOTS as u64 - 1)) as usize;
+        if let Some(s0) = self.next_occupied(0, cur0) {
+            q = (self.cursor & !(SLOTS as u64 - 1)) | s0 as u64;
+        } else {
+            // Occupied higher-level slots lower-bound their contents by the
+            // span start; scanning low levels first finds the earliest.
+            for level in 1..LEVELS {
+                let shift = SLOT_BITS * level as u32;
+                let cur = ((self.cursor >> shift) & (SLOTS as u64 - 1)) as usize;
+                if let Some(sl) = self.next_occupied(level, cur) {
+                    let keep = SLOT_BITS * (level as u32 + 1);
+                    let c = if keep >= 64 {
+                        (sl as u64) << shift
+                    } else {
+                        (self.cursor >> keep << keep) | ((sl as u64) << shift)
+                    };
+                    q = c.max(self.cursor);
+                    break;
+                }
+            }
+        }
+        q = q.min(self.overflow_min_q);
+        Some(Time::from_nanos(q.saturating_mul(1 << QUANTUM_BITS)))
     }
 
     /// Number of events currently pending.
@@ -322,6 +460,30 @@ impl<E> EventQueue<E> {
     /// High-water mark of pending events (diagnostic).
     pub fn peak_len(&self) -> usize {
         self.peak_len
+    }
+
+    /// Cursor advances that fast-forwarded over at least one empty quantum
+    /// (diagnostic; dense workloads stay near zero).
+    pub fn ff_jumps(&self) -> u64 {
+        self.ff_jumps
+    }
+
+    /// Total simulated dead air the cursor jumped over, in nanoseconds
+    /// (diagnostic).
+    pub fn ff_skipped_ns(&self) -> u64 {
+        self.ff_skipped_ns
+    }
+
+    /// Events dispatched via [`EventQueue::claim_dispatch`], i.e. deliveries
+    /// that skipped the schedule/pop round-trip (diagnostic).
+    pub fn batch_deliveries(&self) -> u64 {
+        self.batch_claims
+    }
+
+    /// Longest observed dispatch batch — one popped wakeup plus its run of
+    /// consecutive claims. Zero when batching never engaged (diagnostic).
+    pub fn batch_max_len(&self) -> u64 {
+        self.batch_max
     }
 
     // ---- internals ------------------------------------------------------
@@ -403,7 +565,38 @@ impl<E> EventQueue<E> {
     /// into `ready`. Precondition: `ready` is empty and `len > 0`, so at
     /// least one event is in the wheel or the overflow list.
     fn advance(&mut self) {
+        let drained = self.advance_within(u64::MAX);
+        debug_assert!(drained, "unbounded advance must drain");
+    }
+
+    /// Record a fast-forward: the cursor moved from `from` to its current
+    /// position without draining anything in between.
+    fn note_jump(&mut self, from: u64) {
+        let skipped = self.cursor - from;
+        if skipped > 0 {
+            self.ff_jumps += 1;
+            self.ff_skipped_ns += skipped.saturating_mul(1 << QUANTUM_BITS);
+        }
+    }
+
+    /// Advance the cursor toward the next occupied slot and, if that slot
+    /// can hold an event at or before quantum `limit_q`, drain it — sorted —
+    /// into `ready` and return `true`. When every pending event provably
+    /// lies in a quantum after `limit_q`, return `false` without draining:
+    /// the cursor fast-forwards over empty quanta only (never past a pending
+    /// event) and parks. Parking rules keep pop order intact:
+    ///
+    /// * At a level-0 slot of the current rotation the cursor may move right
+    ///   up to the slot (all quanta before it are empty, no cascades due).
+    /// * At a higher-level cascade candidate or the overflow list the cursor
+    ///   stays put — stepping into a rotation without cascading its
+    ///   newly-current slots would let later level-0 inserts pop ahead of
+    ///   older events still filed above (the `enter_rotations` invariant).
+    ///
+    /// Precondition: `ready` is empty and `len > 0`.
+    fn advance_within(&mut self, limit_q: u64) -> bool {
         debug_assert!(self.ready.is_empty());
+        let entry = self.cursor;
         loop {
             // Pull the far-future list back in if the cursor caught up: an
             // overflow event now within the wheel span must be filed before
@@ -424,6 +617,13 @@ impl<E> EventQueue<E> {
             if let Some(s0) = self.next_occupied(0, cur0) {
                 let c = (self.cursor & !(SLOTS as u64 - 1)) | s0 as u64;
                 self.set_cursor(c);
+                self.note_jump(entry);
+                if c > limit_q {
+                    // Deadline-bounded: park at the occupied slot without
+                    // draining it. Same rotation, so no cascades are due and
+                    // the fast-forward over the empty prefix is safe.
+                    return false;
+                }
                 self.drain_level0(s0);
                 // Step past the drained slot. If that carries into a new
                 // rotation at any level, eagerly cascade the slots that just
@@ -435,7 +635,7 @@ impl<E> EventQueue<E> {
                 if (c + 1) >> SLOT_BITS != c >> SLOT_BITS {
                     self.enter_rotations(c ^ (c + 1));
                 }
-                return;
+                return true;
             }
             // Rotation exhausted: cascade the earliest occupied slot of the
             // lowest non-empty higher level down one level. Scanning low
@@ -454,6 +654,13 @@ impl<E> EventQueue<E> {
                         (self.cursor >> keep << keep) | ((sl as u64) << shift)
                     };
                     debug_assert!(c >= self.cursor, "cascade moved cursor back");
+                    if c.max(self.cursor) > limit_q {
+                        // Everything pending sits at or beyond this slot's
+                        // span start, past the limit. Park without moving —
+                        // see the method doc for why the cursor must not
+                        // enter an un-cascaded rotation.
+                        return false;
+                    }
                     self.set_cursor(c.max(self.cursor));
                     self.cascade(level, sl);
                     cascaded = true;
@@ -467,6 +674,11 @@ impl<E> EventQueue<E> {
             // far-future event; the refile at the top of the loop picks it
             // up on the next iteration.
             debug_assert!(!self.overflow.is_empty(), "len > 0 but nothing pending");
+            if self.overflow_min_q > limit_q {
+                // Only far-future events remain (e.g. Time::MAX sentinels);
+                // don't chase them through the cascade chain.
+                return false;
+            }
             self.set_cursor(self.overflow_min_q.max(self.cursor));
         }
     }
@@ -592,6 +804,17 @@ pub mod reference {
                 self.last_popped = e.at;
                 (e.at, e.seq, e.event)
             })
+        }
+
+        /// Oracle for [`super::EventQueue::claim_dispatch`] (no run-deadline
+        /// bound — the deadline clamp has its own deterministic tests):
+        /// succeed iff no pending entry orders before `(at, seq)`.
+        pub fn claim_dispatch(&mut self, at: Time, seq: u64) -> bool {
+            if self.heap.peek().is_some_and(|e| (e.at, e.seq) < (at, seq)) {
+                return false;
+            }
+            self.last_popped = at;
+            true
         }
 
         pub fn len(&self) -> usize {
@@ -785,6 +1008,129 @@ mod tests {
                 }
                 assert_pops_match(&mut wheel, &mut heap);
             },
+        );
+    }
+
+    /// The batched-delivery flow against the heap oracle: random schedules
+    /// interleaved with reserve → claim-or-fallback, covering past-clamp
+    /// edges (parked time below the pop horizon), overflow-list residents
+    /// (deep-rollover delays pending during claims), and zero-gap claims
+    /// (`at == now`). Both queues must agree on every claim verdict and pop
+    /// bit-identically afterwards.
+    #[test]
+    fn claims_match_heap_for_random_schedules() {
+        use testkit::prop::{check, vec_of};
+
+        check(
+            256,
+            vec_of((0u32..100, 0u32..6, 0u64..1 << 17, 1u32..4), 1..200),
+            |ops| {
+                let mut wheel: EventQueue<u64> = EventQueue::new();
+                let mut heap: HeapQueue<u64> = HeapQueue::new();
+                let mut now = Time::ZERO;
+                let mut next_ev = 0u64;
+                // Parked reservations, claimed or materialized later.
+                let mut parked: Vec<(u64, Time)> = Vec::new();
+                let mut claims = 0u64;
+
+                for (op, dsel, draw, burst) in ops {
+                    let delay_ns = match dsel {
+                        0 => 0,
+                        1 => draw & 0xFFFF,                      // < 1 quantum
+                        2 => draw,                               // level 0/1
+                        3 => draw << 14,                         // level 1/2
+                        4 => draw << 24,                         // level 2/3
+                        _ => (draw << 33) | 1,                   // deep rollover
+                    };
+                    let at = now + Duration::from_nanos(delay_ns);
+                    match op {
+                        0..=39 => {
+                            for _ in 0..burst {
+                                wheel.schedule(at, next_ev);
+                                heap.schedule(at, next_ev);
+                                next_ev += 1;
+                            }
+                        }
+                        40..=59 => {
+                            let sw = wheel.reserve_seq();
+                            let sh = heap.reserve_seq();
+                            assert_eq!(sw, sh);
+                            parked.push((sw, at));
+                        }
+                        // The DeliveryQueue pattern: try to dispatch the
+                        // oldest parked key inline; on refusal file it the
+                        // classic way. Clamping to `now` models a parked
+                        // arrival whose wakeup time has already been popped
+                        // past (the past-clamp edge; delay 0 gives the
+                        // zero-gap `at == now` case).
+                        60..=79 => {
+                            if let Some((seq, t)) = parked.first().copied() {
+                                parked.remove(0);
+                                let t = t.max(now);
+                                let w = wheel.claim_dispatch(t, seq);
+                                let h = heap.claim_dispatch(t, seq);
+                                assert_eq!(w, h, "claim verdict diverged");
+                                if w {
+                                    now = t;
+                                    claims += 1;
+                                } else {
+                                    wheel.schedule_reserved(t, seq, seq << 32);
+                                    heap.schedule_reserved(t, seq, seq << 32);
+                                }
+                            }
+                        }
+                        _ => {
+                            let w = wheel.pop();
+                            let h = heap.pop().map(|(t, _s, e)| (t, e));
+                            assert_eq!(w, h, "pop diverged mid-run");
+                            if let Some((t, _)) = w {
+                                now = t;
+                            }
+                        }
+                    }
+                }
+                for (seq, t) in parked {
+                    let t = t.max(now);
+                    wheel.schedule_reserved(t, seq, seq << 32);
+                    heap.schedule_reserved(t, seq, seq << 32);
+                }
+                assert_eq!(wheel.batch_deliveries(), claims);
+                assert_pops_match(&mut wheel, &mut heap);
+            },
+        );
+    }
+
+    /// `reset` must zero the fast-forward / batching diagnostics and lift a
+    /// run deadline left behind by the previous run — a recycled shard
+    /// queue reporting a prior run's jumps (or refusing claims against a
+    /// stale deadline) would corrupt sweep telemetry and batching.
+    #[test]
+    fn reset_clears_ff_and_batch_diagnostics() {
+        let mut q: EventQueue<u64> = EventQueue::new();
+        // Provoke a fast-forward jump (far-apart events) and a claim.
+        q.schedule(Time::from_nanos(100), 0);
+        q.schedule(Time::from_secs(2), 1);
+        while q.pop().is_some() {}
+        let s = q.reserve_seq();
+        assert!(q.claim_dispatch(Time::from_secs(3), s));
+        q.set_run_deadline(Time::from_secs(4));
+        assert!(q.ff_jumps() > 0, "setup never fast-forwarded");
+        assert_eq!(q.batch_deliveries(), 1);
+        assert!(q.batch_max_len() > 0);
+
+        q.reset();
+        assert_eq!(q.ff_jumps(), 0);
+        assert_eq!(q.ff_skipped_ns(), 0);
+        assert_eq!(q.batch_deliveries(), 0);
+        assert_eq!(q.batch_max_len(), 0);
+        assert_eq!(q.scheduled_total(), 0);
+        assert_eq!(q.cascaded_total(), 0);
+        // The stale 4 s deadline must be gone: a fresh reservation claims
+        // fine at 5 s on an empty queue.
+        let s = q.reserve_seq();
+        assert!(
+            q.claim_dispatch(Time::from_secs(5), s),
+            "reset left the previous run deadline in place"
         );
     }
 

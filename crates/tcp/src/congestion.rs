@@ -238,11 +238,10 @@ impl TcpCc {
         if !self.in_slow_start() {
             return false;
         }
-        let min = self.rtt.min_rtt();
-        if min == Duration::MAX {
-            return false;
-        }
-        let threshold = min + min.mul_f64(0.25).max(Duration::from_millis(8));
+        // Threshold is min_rtt + max(min_rtt/4, 8 ms), cached by the
+        // estimator (Duration::MAX before any sample, so the comparison
+        // below also covers the no-sample case).
+        let threshold = self.rtt.hystart_threshold();
         if self.rtt.srtt() > threshold && self.cwnd > f64::from(self.cfg.initial_cwnd) {
             self.ssthresh = self.cwnd;
             return true;

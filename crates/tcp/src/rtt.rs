@@ -20,6 +20,11 @@ pub struct RttEstimator {
     /// its inputs only change here, so the Duration arithmetic runs once per
     /// sample instead of once per read.
     cached_rto: Duration,
+    /// HyStart delay threshold `min + max(min/4, 8 ms)` precomputed whenever
+    /// `min_rtt` improves (rare) instead of on every slow-start ACK, where
+    /// the `mul_f64` chain would otherwise run. `Duration::MAX` until the
+    /// first sample.
+    cached_hystart_thresh: Duration,
 }
 
 impl RttEstimator {
@@ -45,6 +50,7 @@ impl RttEstimator {
             max_rto,
             samples: 0,
             cached_rto: Self::INITIAL_RTO,
+            cached_hystart_thresh: Duration::MAX,
         }
     }
 
@@ -56,7 +62,10 @@ impl RttEstimator {
 
     /// Feed one RTT measurement (RFC 6298 §2.2–2.3).
     pub fn on_sample(&mut self, rtt: Duration) {
-        self.min_rtt = self.min_rtt.min(rtt);
+        if rtt < self.min_rtt {
+            self.min_rtt = rtt;
+            self.cached_hystart_thresh = rtt + rtt.mul_f64(0.25).max(Duration::from_millis(8));
+        }
         if self.samples == 0 {
             self.srtt = rtt;
             self.rttvar = rtt / 2;
@@ -95,6 +104,12 @@ impl RttEstimator {
     /// any sample.
     pub fn rto(&self) -> Duration {
         self.cached_rto
+    }
+
+    /// HyStart delay-increase threshold, `min_rtt + max(min_rtt/4, 8 ms)`
+    /// ([`Duration::MAX`] before any sample — compares as "never exceeded").
+    pub fn hystart_threshold(&self) -> Duration {
+        self.cached_hystart_thresh
     }
 }
 

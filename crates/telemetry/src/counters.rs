@@ -74,11 +74,22 @@ pub enum Counter {
     /// Populations that collapsed to a single engine because no safe
     /// lookahead exists (literal link sharing or a zero-window coupling).
     ShardCollapses,
+    /// Event-queue cursor fast-forwards: advances that jumped over at least
+    /// one empty wheel quantum instead of visiting it.
+    FfJumps,
+    /// Total simulated dead air (ns) the event-queue cursor jumped over.
+    FfSkippedNs,
+    /// Link deliveries dispatched in batch via the claim protocol,
+    /// bypassing a schedule/pop round-trip through the wheel.
+    BatchDeliveries,
+    /// Longest observed delivery batch (head pop + consecutive claims);
+    /// running max across engines and runs.
+    BatchMaxLen,
 }
 
 impl Counter {
     /// Number of counters.
-    pub const COUNT: usize = 25;
+    pub const COUNT: usize = 29;
 
     /// Every counter, in stable report order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -107,6 +118,10 @@ impl Counter {
         Counter::CosimStallNs,
         Counter::CosimRoundImbalancePermille,
         Counter::ShardCollapses,
+        Counter::FfJumps,
+        Counter::FfSkippedNs,
+        Counter::BatchDeliveries,
+        Counter::BatchMaxLen,
     ];
 
     /// Stable snake_case name for reports and trace digests.
@@ -137,6 +152,10 @@ impl Counter {
             Counter::CosimStallNs => "cosim_stall_ns",
             Counter::CosimRoundImbalancePermille => "cosim_round_imbalance_permille",
             Counter::ShardCollapses => "shard_collapses",
+            Counter::FfJumps => "ff_jumps",
+            Counter::FfSkippedNs => "ff_skipped_ns",
+            Counter::BatchDeliveries => "batch_deliveries",
+            Counter::BatchMaxLen => "batch_max_len",
         }
     }
 }

@@ -10,6 +10,15 @@
 //! Setting `TESTKIT_BENCH_SMOKE=1` collapses every benchmark to a single
 //! iteration: `scripts/verify.sh` uses this to prove the harnesses still
 //! *run* without paying measurement-grade runtime.
+//!
+//! Setting `TESTKIT_BENCH_FILTER=<regex>` runs only the benchmarks whose
+//! full name (`group/id`) matches the pattern — `scripts/bench_update.sh
+//! --filter` uses this for partial BENCH.json regeneration. The pattern
+//! language is the in-tree [`regex_lite`] subset (literals, `.`, `*`, `+`,
+//! `?`, `|`, `(...)`, `[...]` classes, `^`/`$` anchors; unanchored search
+//! otherwise). Bench files with expensive shared setup can consult
+//! [`name_enabled`] before building workloads for benchmarks the filter
+//! would skip anyway.
 
 use std::sync::{Mutex, OnceLock};
 use std::time::{Duration, Instant};
@@ -19,6 +28,10 @@ pub use std::hint::black_box;
 
 /// Environment variable that turns benches into 1-iteration smoke runs.
 pub const ENV_SMOKE: &str = "TESTKIT_BENCH_SMOKE";
+
+/// Environment variable holding a [`regex_lite`] pattern; when set, only
+/// benchmarks whose full name matches it are run.
+pub const ENV_FILTER: &str = "TESTKIT_BENCH_FILTER";
 
 /// Environment variable naming a file to write machine-readable results to.
 /// When set, `criterion_main!` writes every benchmark's measurements as a
@@ -156,6 +169,36 @@ fn smoke_mode() -> bool {
     std::env::var(ENV_SMOKE).map(|v| v != "0" && !v.is_empty()).unwrap_or(false)
 }
 
+/// The compiled [`ENV_FILTER`] pattern (`None` when unset/empty). A bad
+/// pattern aborts the bench process with a message — silently running
+/// everything would defeat a partial `bench_update.sh` run, and silently
+/// running nothing would corrupt the merge.
+fn bench_filter() -> Option<&'static crate::regex_lite::Regex> {
+    static FILTER: OnceLock<Option<crate::regex_lite::Regex>> = OnceLock::new();
+    FILTER
+        .get_or_init(|| {
+            let pat = std::env::var(ENV_FILTER).unwrap_or_default();
+            if pat.is_empty() {
+                return None;
+            }
+            match crate::regex_lite::Regex::new(&pat) {
+                Ok(r) => Some(r),
+                Err(e) => {
+                    eprintln!("bench: bad {ENV_FILTER} pattern {pat:?}: {e}");
+                    std::process::exit(2);
+                }
+            }
+        })
+        .as_ref()
+}
+
+/// True when benchmark `name` would run under the current [`ENV_FILTER`].
+/// Bench files use this to skip expensive shared setup (workload
+/// construction, warm-up runs) for benchmarks the filter excludes.
+pub fn name_enabled(name: &str) -> bool {
+    bench_filter().is_none_or(|f| f.is_match(name))
+}
+
 /// Top-level bench context (Criterion-shaped).
 #[derive(Debug, Clone)]
 pub struct Criterion {
@@ -277,6 +320,10 @@ fn run_benchmark<F: FnMut(&mut Bencher)>(
     workers: Option<usize>,
     mut f: F,
 ) {
+    if !name_enabled(name) {
+        println!("bench {name}: skipped (filter)");
+        return;
+    }
     if smoke_mode() {
         let mut b = Bencher {
             iters_per_sample: 1,
@@ -452,6 +499,15 @@ mod tests {
         } else {
             // Calibration + 3 samples all invoked the closure.
             assert!(calls > 3);
+        }
+    }
+
+    #[test]
+    fn name_enabled_defaults_to_true() {
+        // Only meaningful when the outer harness didn't set the filter env
+        // var (the OnceLock makes a set-and-unset dance racy across tests).
+        if std::env::var(ENV_FILTER).unwrap_or_default().is_empty() {
+            assert!(name_enabled("anything/at_all"));
         }
     }
 

@@ -1,0 +1,327 @@
+//! A small, hermetic regular-expression matcher.
+//!
+//! Supports the subset of classic regex syntax the workspace's tooling
+//! needs for benchmark-name filters (`TESTKIT_BENCH_FILTER`,
+//! `scripts/bench_update.sh --filter`):
+//!
+//! * literals and `\`-escapes (an escaped character matches itself)
+//! * `.` (any one character)
+//! * `[...]` / `[^...]` character classes with `a-z` ranges
+//! * postfix `*`, `+`, `?`
+//! * alternation `|` and grouping `(...)`
+//! * `^` / `$` anchors; without them a pattern matches anywhere in the
+//!   text (search semantics, like `grep` or Rust's `regex::is_match`)
+//!
+//! The implementation is a set-of-positions simulation: each piece maps a
+//! set of input positions to the set of positions reachable after matching
+//! it, with dedup at every step, so matching is polynomial and loops on
+//! zero-width repetitions terminate. Benchmark names are tens of
+//! characters; this is nowhere near a hot path.
+
+/// A parsed pattern, ready for repeated matching.
+#[derive(Debug, Clone)]
+pub struct Regex {
+    /// Top-level alternation: the pattern matches if any branch does.
+    alts: Vec<Vec<Piece>>,
+}
+
+#[derive(Debug, Clone)]
+struct Piece {
+    atom: Atom,
+    rep: Rep,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Rep {
+    One,
+    Star,
+    Plus,
+    Opt,
+}
+
+#[derive(Debug, Clone)]
+enum Atom {
+    Char(char),
+    Any,
+    Class { neg: bool, ranges: Vec<(char, char)> },
+    Group(Vec<Vec<Piece>>),
+    Start,
+    End,
+}
+
+impl Regex {
+    /// Parse `pattern`; `Err` carries a human-readable syntax message.
+    pub fn new(pattern: &str) -> Result<Regex, String> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut pos = 0usize;
+        let alts = parse_alts(&chars, &mut pos)?;
+        if pos != chars.len() {
+            return Err(format!("unexpected ')' at offset {pos}"));
+        }
+        Ok(Regex { alts })
+    }
+
+    /// True when the pattern matches anywhere in `text` (or exactly where
+    /// its `^`/`$` anchors demand).
+    pub fn is_match(&self, text: &str) -> bool {
+        let t: Vec<char> = text.chars().collect();
+        (0..=t.len()).any(|start| {
+            self.alts.iter().any(|seq| !seq_ends(seq, &t, &[start]).is_empty())
+        })
+    }
+}
+
+/// Parse an alternation (`a|b|c`) up to an unbalanced `)` or end of input.
+fn parse_alts(p: &[char], pos: &mut usize) -> Result<Vec<Vec<Piece>>, String> {
+    let mut alts = vec![parse_seq(p, pos)?];
+    while p.get(*pos) == Some(&'|') {
+        *pos += 1;
+        alts.push(parse_seq(p, pos)?);
+    }
+    Ok(alts)
+}
+
+/// Parse a concatenation of repeatable atoms.
+fn parse_seq(p: &[char], pos: &mut usize) -> Result<Vec<Piece>, String> {
+    let mut seq = Vec::new();
+    while let Some(&c) = p.get(*pos) {
+        if c == '|' || c == ')' {
+            break;
+        }
+        let atom = parse_atom(p, pos)?;
+        let rep = match p.get(*pos) {
+            Some('*') => Rep::Star,
+            Some('+') => Rep::Plus,
+            Some('?') => Rep::Opt,
+            _ => Rep::One,
+        };
+        if rep != Rep::One {
+            *pos += 1;
+        }
+        seq.push(Piece { atom, rep });
+    }
+    Ok(seq)
+}
+
+fn parse_atom(p: &[char], pos: &mut usize) -> Result<Atom, String> {
+    let c = p[*pos];
+    *pos += 1;
+    match c {
+        '.' => Ok(Atom::Any),
+        '^' => Ok(Atom::Start),
+        '$' => Ok(Atom::End),
+        '(' => {
+            let alts = parse_alts(p, pos)?;
+            if p.get(*pos) != Some(&')') {
+                return Err("unclosed '('".into());
+            }
+            *pos += 1;
+            Ok(Atom::Group(alts))
+        }
+        '[' => parse_class(p, pos),
+        '\\' => {
+            let &e = p.get(*pos).ok_or("dangling '\\'")?;
+            *pos += 1;
+            Ok(Atom::Char(e))
+        }
+        '*' | '+' | '?' => Err(format!("'{c}' with nothing to repeat")),
+        c => Ok(Atom::Char(c)),
+    }
+}
+
+fn parse_class(p: &[char], pos: &mut usize) -> Result<Atom, String> {
+    let neg = p.get(*pos) == Some(&'^');
+    if neg {
+        *pos += 1;
+    }
+    let mut ranges = Vec::new();
+    let mut first = true;
+    loop {
+        let &c = p.get(*pos).ok_or("unclosed '['")?;
+        if c == ']' && !first {
+            *pos += 1;
+            return Ok(Atom::Class { neg, ranges });
+        }
+        first = false;
+        *pos += 1;
+        let lo = if c == '\\' {
+            let &e = p.get(*pos).ok_or("dangling '\\' in class")?;
+            *pos += 1;
+            e
+        } else {
+            c
+        };
+        // `a-z` range, unless the '-' is the closing ']'s neighbor.
+        if p.get(*pos) == Some(&'-') && p.get(*pos + 1).is_some_and(|&n| n != ']') {
+            *pos += 1;
+            let &hi = p.get(*pos).ok_or("unclosed '['")?;
+            *pos += 1;
+            ranges.push((lo, hi));
+        } else {
+            ranges.push((lo, lo));
+        }
+    }
+}
+
+/// All positions reachable after matching `seq` from any position in
+/// `starts` (ascending, deduped).
+fn seq_ends(seq: &[Piece], t: &[char], starts: &[usize]) -> Vec<usize> {
+    let mut cur = starts.to_vec();
+    for piece in seq {
+        cur = piece_ends(piece, t, &cur);
+        if cur.is_empty() {
+            break;
+        }
+    }
+    cur
+}
+
+fn piece_ends(piece: &Piece, t: &[char], starts: &[usize]) -> Vec<usize> {
+    match piece.rep {
+        Rep::One => atom_ends(&piece.atom, t, starts),
+        Rep::Opt => merge(starts.to_vec(), atom_ends(&piece.atom, t, starts)),
+        Rep::Star | Rep::Plus => {
+            let mut all = if piece.rep == Rep::Star { starts.to_vec() } else { Vec::new() };
+            let mut frontier = starts.to_vec();
+            // Fixpoint over reachable positions; positions only come from
+            // the finite 0..=len range, so this terminates even for
+            // zero-width repetition bodies.
+            while !frontier.is_empty() {
+                let next = atom_ends(&piece.atom, t, &frontier);
+                frontier = next.into_iter().filter(|p| !all.contains(p)).collect();
+                all = merge(all, frontier.clone());
+            }
+            all.sort_unstable();
+            all
+        }
+    }
+}
+
+fn atom_ends(atom: &Atom, t: &[char], starts: &[usize]) -> Vec<usize> {
+    let mut out = Vec::new();
+    for &i in starts {
+        match atom {
+            Atom::Char(c) => {
+                if t.get(i) == Some(c) {
+                    out.push(i + 1);
+                }
+            }
+            Atom::Any => {
+                if i < t.len() {
+                    out.push(i + 1);
+                }
+            }
+            Atom::Class { neg, ranges } => {
+                if let Some(&c) = t.get(i) {
+                    let inside = ranges.iter().any(|&(lo, hi)| lo <= c && c <= hi);
+                    if inside != *neg {
+                        out.push(i + 1);
+                    }
+                }
+            }
+            Atom::Group(alts) => {
+                for seq in alts {
+                    out.extend(seq_ends(seq, t, &[i]));
+                }
+            }
+            Atom::Start => {
+                if i == 0 {
+                    out.push(i);
+                }
+            }
+            Atom::End => {
+                if i == t.len() {
+                    out.push(i);
+                }
+            }
+        }
+    }
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+fn merge(mut a: Vec<usize>, b: Vec<usize>) -> Vec<usize> {
+    a.extend(b);
+    a.sort_unstable();
+    a.dedup();
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(pat: &str, text: &str) -> bool {
+        Regex::new(pat).expect("pattern parses").is_match(text)
+    }
+
+    #[test]
+    fn literal_is_substring_search() {
+        assert!(m("streaming", "sim_throughput/streaming_0.3_8.6"));
+        assert!(m("0.3", "sim_throughput/streaming_0.3_8.6"));
+        assert!(!m("browse", "sim_throughput/streaming_0.3_8.6"));
+    }
+
+    #[test]
+    fn anchors_pin_ends() {
+        assert!(m("^sim_", "sim_throughput/browse_1k"));
+        assert!(!m("^throughput", "sim_throughput/browse_1k"));
+        assert!(m("_1k$", "sim_throughput/browse_1k"));
+        assert!(!m("browse$", "sim_throughput/browse_1k"));
+        assert!(m("^abc$", "abc"));
+        assert!(!m("^abc$", "abcd"));
+    }
+
+    #[test]
+    fn alternation_and_groups() {
+        let r = Regex::new("sim_throughput/(streaming|browse_1k)").unwrap();
+        assert!(r.is_match("sim_throughput/streaming_0.3_8.6"));
+        assert!(r.is_match("sim_throughput/browse_1k"));
+        assert!(!r.is_match("sim_throughput/quic_web_107stream"));
+        assert!(m("a|b", "xby"));
+        assert!(!m("a|b", "xyz"));
+    }
+
+    #[test]
+    fn repetition() {
+        assert!(m("ab*c", "ac"));
+        assert!(m("ab*c", "abbbc"));
+        assert!(m("ab+c", "abc"));
+        assert!(!m("ab+c", "ac"));
+        assert!(m("ab?c", "ac"));
+        assert!(m("ab?c", "abc"));
+        assert!(!m("ab?c", "abbc"));
+        assert!(m("a.*z", "a___z"));
+        assert!(m("^(ab)+$", "ababab"));
+        assert!(!m("^(ab)+$", "ababa"));
+    }
+
+    #[test]
+    fn zero_width_star_terminates() {
+        assert!(m("(a*)*b", "b"));
+        assert!(m("(a*)*b", "aaab"));
+        assert!(!m("^(a*)*$", "c"));
+    }
+
+    #[test]
+    fn classes_and_escapes() {
+        assert!(m("[a-c]+", "xbz"));
+        assert!(!m("^[a-c]+$", "xbz"));
+        assert!(m("[^0-9]", "a1"));
+        assert!(!m("^[^0-9]+$", "123"));
+        assert!(m("0\\.3", "streaming_0.3_8.6"));
+        assert!(!m("0\\.3", "streaming_0x3"));
+        assert!(m("[.]", "a.b"));
+        assert!(m("a[-c]", "a-"));
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        assert!(Regex::new("(ab").is_err());
+        assert!(Regex::new("ab)").is_err());
+        assert!(Regex::new("[ab").is_err());
+        assert!(Regex::new("*a").is_err());
+        assert!(Regex::new("a\\").is_err());
+    }
+}

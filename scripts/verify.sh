@@ -61,6 +61,7 @@ for want in (
     "sim_throughput/browse_6conn",
     "sim_throughput/browse_24conn",
     "sim_throughput/browse_1k",
+    "sim_throughput/streaming_onoff",
     "sim_throughput/quic_web_107stream",
 ) + extra:
     if want not in names:
